@@ -1,0 +1,13 @@
+// Figure 6: prediction error rate of the four methods vs the number of
+// jobs, on the cluster testbed. Expected shape (Sec. IV-A):
+// CORP < RCCR < CloudScale < DRA at every job count.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::cluster_experiment());
+  sim::Figure figure = harness.figure_prediction_error();
+  figure.id = "fig06";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7(a)-(c): per-type resource utilization (Eq. 1) vs the number of
+// jobs, on the cluster testbed. Expected shape (Sec. IV-A):
+// CORP > RCCR > CloudScale > DRA, utilization rising with job count.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::cluster_experiment());
+  const char* sub = "abc";
+  auto figures = harness.figure_utilization();
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    figures[i].id = std::string("fig07") + sub[i];
+    bench::emit(figures[i], bench::csv_prefix(argc, argv));
+  }
+  return 0;
+}

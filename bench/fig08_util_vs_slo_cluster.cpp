@@ -1,0 +1,15 @@
+// Figure 8: overall resource utilization (Eq. 2, weights 0.4/0.4/0.2) at
+// target SLO violation rates 5%-30%, on the cluster testbed. Each method's
+// own aggressiveness lever is swept and utilization is interpolated at the
+// target rates. Expected shape: utilization rises with the permitted SLO
+// violation rate, and CORP dominates at every rate.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::cluster_experiment());
+  sim::Figure figure = harness.figure_utilization_vs_slo();
+  figure.id = "fig08";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

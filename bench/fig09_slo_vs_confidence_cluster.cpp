@@ -1,0 +1,14 @@
+// Figure 9: SLO violation rate vs confidence level eta (50%-90%), on the
+// cluster testbed. Expected shape: the rate decreases as the confidence
+// level rises for the confidence-interval methods (CORP, RCCR), with
+// CORP < RCCR < CloudScale < DRA throughout.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::cluster_experiment());
+  sim::Figure figure = harness.figure_slo_vs_confidence();
+  figure.id = "fig09";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 10: latency for allocating resources to 300 jobs on the cluster
+// testbed. Expected shape: CORP slightly above the baselines (the DNN's
+// computation buys its accuracy).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::cluster_experiment());
+  sim::Figure figure = harness.figure_overhead();
+  figure.id = "fig10";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 11(a)-(c): per-type resource utilization vs number of jobs on the
+// Amazon EC2 testbed (30 single-VM nodes). Mirrors Fig. 7; storage
+// utilization sits below CPU/MEM (it is not the bottleneck resource).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::ec2_experiment());
+  const char* sub = "abc";
+  auto figures = harness.figure_utilization();
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    figures[i].id = std::string("fig11") + sub[i];
+    bench::emit(figures[i], bench::csv_prefix(argc, argv));
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 12: overall utilization vs SLO violation rate on the EC2 testbed.
+// Mirrors Fig. 8.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::ec2_experiment());
+  sim::Figure figure = harness.figure_utilization_vs_slo();
+  figure.id = "fig12";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

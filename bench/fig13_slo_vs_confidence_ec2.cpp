@@ -1,0 +1,12 @@
+// Figure 13: SLO violation rate vs confidence level on the EC2 testbed.
+// Mirrors Fig. 9.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::ec2_experiment());
+  sim::Figure figure = harness.figure_slo_vs_confidence();
+  figure.id = "fig13";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 14: latency for allocating resources to 300 jobs on the EC2
+// testbed. Mirrors Fig. 10, shifted upward by EC2's higher communication
+// overhead.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  sim::ExperimentHarness harness(bench::ec2_experiment());
+  sim::Figure figure = harness.figure_overhead();
+  figure.id = "fig14";
+  bench::emit(figure, bench::csv_prefix(argc, argv));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared scaffolding for the figure-regeneration binaries. Each binary
+// reproduces one table/figure of the paper's evaluation (Sec. IV): it runs
+// the relevant sweep via ExperimentHarness, prints the series table to
+// stdout, and (optionally, first CLI argument) writes the series as CSV.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace corp::bench {
+
+inline sim::ExperimentConfig cluster_experiment(std::uint64_t seed = 7) {
+  sim::ExperimentConfig experiment;
+  experiment.environment = cluster::EnvironmentConfig::PalmettoCluster();
+  experiment.seed = seed;
+  return experiment;
+}
+
+inline sim::ExperimentConfig ec2_experiment(std::uint64_t seed = 7) {
+  sim::ExperimentConfig experiment;
+  experiment.environment = cluster::EnvironmentConfig::AmazonEc2();
+  experiment.seed = seed;
+  return experiment;
+}
+
+/// Prints the figure and optionally writes `<csv_prefix><id>.csv`.
+inline void emit(const sim::Figure& figure, const char* csv_prefix) {
+  std::cout << figure.to_table() << '\n';
+  if (csv_prefix != nullptr) {
+    const std::string path = std::string(csv_prefix) + figure.id + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      figure.write_csv(out);
+      std::cout << "wrote " << path << '\n';
+    } else {
+      std::cerr << "could not open " << path << '\n';
+    }
+  }
+}
+
+/// Standard main body: argv[1] (optional) is a CSV output prefix.
+inline const char* csv_prefix(int argc, char** argv) {
+  return argc > 1 ? argv[1] : nullptr;
+}
+
+}  // namespace corp::bench

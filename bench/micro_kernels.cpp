@@ -1,0 +1,165 @@
+// google-benchmark micro-suite over the hot kernels: DNN inference and
+// training steps, HMM recursions, the packing and volume-matching
+// algorithms, trace generation and the baseline predictors. These bound
+// the per-decision latency budget behind Figs. 10/14.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "dnn/optimizer.hpp"
+#include "hmm/hmm.hpp"
+#include "predict/ets_predictor.hpp"
+#include "predict/markov_predictor.hpp"
+#include "sched/packing.hpp"
+#include "sched/volume.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace corp;
+
+dnn::Network make_paper_network(util::Rng& rng) {
+  dnn::NetworkConfig config;  // defaults = Table II (12 -> 4x50 -> 1)
+  return dnn::Network(config, rng);
+}
+
+void BM_DnnForward(benchmark::State& state) {
+  util::Rng rng(1);
+  dnn::Network net = make_paper_network(rng);
+  const std::vector<double> input(12, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(input));
+  }
+}
+BENCHMARK(BM_DnnForward);
+
+void BM_DnnTrainSample(benchmark::State& state) {
+  util::Rng rng(1);
+  dnn::Network net = make_paper_network(rng);
+  dnn::SgdOptimizer opt(0.05);
+  opt.bind(net.layer_pointers());
+  const std::vector<double> input(12, 0.5);
+  const std::vector<double> target{0.4};
+  for (auto _ : state) {
+    net.zero_grad();
+    benchmark::DoNotOptimize(net.train_sample(input, target));
+    opt.step();
+  }
+}
+BENCHMARK(BM_DnnTrainSample);
+
+std::vector<std::size_t> synthetic_observations(std::size_t length) {
+  std::vector<std::size_t> obs(length);
+  for (std::size_t i = 0; i < length; ++i) obs[i] = (i / 5) % 3;
+  return obs;
+}
+
+void BM_HmmForward(benchmark::State& state) {
+  util::Rng rng(2);
+  hmm::DiscreteHmm model(3, 3, rng);
+  const auto obs = synthetic_observations(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.log_likelihood(obs));
+  }
+}
+BENCHMARK(BM_HmmForward)->Arg(32)->Arg(256);
+
+void BM_HmmViterbi(benchmark::State& state) {
+  util::Rng rng(2);
+  hmm::DiscreteHmm model(3, 3, rng);
+  const auto obs = synthetic_observations(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.viterbi(obs));
+  }
+}
+BENCHMARK(BM_HmmViterbi)->Arg(32)->Arg(256);
+
+void BM_HmmBaumWelchIteration(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto obs = synthetic_observations(256);
+  for (auto _ : state) {
+    state.PauseTiming();
+    hmm::DiscreteHmm model(3, 3, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.baum_welch(obs, 1, 0.0));
+  }
+}
+BENCHMARK(BM_HmmBaumWelchIteration);
+
+std::vector<trace::Job> batch_jobs(std::size_t n) {
+  trace::GeneratorConfig config;
+  config.num_jobs = n;
+  config.horizon_slots = 1;
+  trace::GoogleTraceGenerator gen(config);
+  util::Rng rng(3);
+  return gen.generate(rng).jobs();
+}
+
+void BM_PackJobs(benchmark::State& state) {
+  const auto jobs = batch_jobs(static_cast<std::size_t>(state.range(0)));
+  std::vector<const trace::Job*> batch;
+  for (const auto& j : jobs) batch.push_back(&j);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::pack_jobs(batch));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PackJobs)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_MostMatched(benchmark::State& state) {
+  std::vector<sched::VmAvailability> vms;
+  util::Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) {
+    vms.push_back({static_cast<std::uint32_t>(i),
+                   trace::ResourceVector(rng.uniform(0, 4),
+                                         rng.uniform(0, 16),
+                                         rng.uniform(0, 180))});
+  }
+  const trace::ResourceVector demand(1.0, 2.0, 10.0);
+  const trace::ResourceVector max_cap(4.0, 16.0, 180.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::most_matched(vms, demand, max_cap));
+  }
+}
+BENCHMARK(BM_MostMatched)->Arg(100)->Arg(400);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::GeneratorConfig config;
+  config.num_jobs = static_cast<std::size_t>(state.range(0));
+  config.horizon_slots = 60;
+  trace::GoogleTraceGenerator gen(config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    benchmark::DoNotOptimize(gen.generate(rng));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(50)->Arg(300);
+
+void BM_EtsPredict(benchmark::State& state) {
+  predict::EtsPredictor ets;
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) series.push_back(0.5 + 0.01 * (i % 13));
+  ets.train({series});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ets.predict(series, 6));
+  }
+}
+BENCHMARK(BM_EtsPredict);
+
+void BM_MarkovPredict(benchmark::State& state) {
+  predict::MarkovChainPredictor markov;
+  std::vector<double> series;
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) series.push_back(rng.uniform(0.0, 1.0));
+  markov.train({series});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov.predict(series, 6));
+  }
+}
+BENCHMARK(BM_MarkovPredict);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Packing study: when does complementary packing (Sec. III-B, Figs. 1/4/5)
+// pay off?
+//
+// On an amply-provisioned cluster the component ablation shows packing is
+// nearly neutral — there is no fragmentation to avoid. This study
+// reproduces the paper's *argument* instead: on a small, tight cluster,
+// sweeping load, packing keeps complementary jobs co-located so fewer
+// entities fail placement, queues stay shorter and utilization holds up.
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace corp;
+
+struct StudyResult {
+  sim::SimulationResult sim;
+  std::size_t peak_queue = 0;
+};
+
+StudyResult run_study(bool packing, std::size_t num_jobs,
+                      std::uint64_t seed) {
+  // A deliberately tight cluster: 6 PMs -> 12 VMs.
+  cluster::EnvironmentConfig env =
+      cluster::EnvironmentConfig::PalmettoCluster();
+  env.num_pms = 6;
+
+  sim::ExperimentConfig experiment;
+  experiment.environment = env;
+  experiment.seed = seed;
+
+  trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
+      env, experiment.training_jobs, experiment.training_horizon_slots));
+  util::Rng train_rng(seed * 7919 + 1);
+  const trace::Trace training = train_gen.generate(train_rng);
+
+  trace::GeneratorConfig eval_config =
+      sim::scaled_generator_config(env, num_jobs, 20);
+  trace::GoogleTraceGenerator eval_gen(eval_config);
+  util::Rng eval_rng(seed * 104729 + num_jobs * 17 + 2);
+  const trace::Trace evaluation = eval_gen.generate(eval_rng);
+
+  sim::SimulationConfig config =
+      sim::make_simulation_config(experiment, predict::Method::kCorp);
+  sched::CorpSchedulerConfig scheduler =
+      config.corp_scheduler.value_or(sched::CorpSchedulerConfig{});
+  scheduler.enable_packing = packing;
+  config.corp_scheduler = scheduler;
+  config.record_timeline = true;
+  config.grace_slots = 1500;
+
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+  StudyResult result;
+  result.sim = simulation.run(evaluation);
+  result.peak_queue = result.sim.timeline.peak_queue();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> loads{60, 120, 180};
+  std::vector<StudyResult> with(loads.size()), without(loads.size());
+  util::ThreadPool pool;
+  pool.parallel_for(loads.size() * 2, [&](std::size_t task) {
+    const std::size_t li = task / 2;
+    const bool packing = task % 2 == 0;
+    (packing ? with : without)[li] = run_study(packing, loads[li], 7);
+  });
+
+  std::cout << "== packing study: CORP with/without complementary packing "
+               "(6 PMs / 12 VMs, rising load) ==\n";
+  util::TextTable table({"jobs", "packing", "overall util", "slo violation",
+                         "peak queue", "opportunistic"});
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    for (const bool packing : {true, false}) {
+      const StudyResult& r = packing ? with[li] : without[li];
+      table.add_row(std::to_string(loads[li]) +
+                        (packing ? " / on" : " / off"),
+                    {packing ? 1.0 : 0.0, r.sim.overall_utilization,
+                     r.sim.slo_violation_rate,
+                     static_cast<double>(r.peak_queue),
+                     static_cast<double>(r.sim.opportunistic_placements)});
+    }
+  }
+  std::cout << table.to_string()
+            << "\nExpected: packing's complementary entities fit the VMs' "
+               "unused pools better (the Fig. 1/4 effect), so utilization "
+               "is markedly higher while the cluster still has headroom; "
+               "under extreme overload both variants saturate and the gap "
+               "narrows.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Sensitivity of CORP to the Table II parameter ranges the paper lists
+// but does not plot: the probability threshold P_th, the number of VMs
+// N_v (100-400), and the prediction window L. Each sweep holds everything
+// else at the defaults and reports CORP's utilization/SLO tradeoff.
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace corp;
+
+sim::PointResult run_with(sim::ExperimentConfig experiment,
+                          sim::SimulationConfig config,
+                          std::size_t num_jobs) {
+  trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
+      experiment.environment, experiment.training_jobs,
+      experiment.training_horizon_slots));
+  util::Rng train_rng(experiment.seed * 7919 + 1);
+  const trace::Trace training = train_gen.generate(train_rng);
+  trace::GoogleTraceGenerator eval_gen(sim::scaled_generator_config(
+      experiment.environment, num_jobs, experiment.eval_horizon_slots));
+  util::Rng eval_rng(experiment.seed * 104729 + num_jobs * 17 + 2);
+  const trace::Trace evaluation = eval_gen.generate(eval_rng);
+
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+  sim::PointResult result;
+  result.prediction =
+      sim::evaluate_prediction_error(simulation.predictor(), evaluation);
+  result.sim = simulation.run(evaluation);
+  return result;
+}
+
+void row(util::TextTable& table, const std::string& label,
+         const sim::PointResult& r) {
+  table.add_row(label,
+                {r.sim.overall_utilization, r.sim.slo_violation_rate,
+                 static_cast<double>(r.sim.opportunistic_placements),
+                 r.prediction.error_rate});
+}
+
+}  // namespace
+
+int main() {
+  const sim::ExperimentConfig experiment = bench::cluster_experiment();
+  constexpr std::size_t kJobs = 200;
+  util::ThreadPool pool;
+
+  // --- P_th sweep (Eq. 21 gate) ------------------------------------------
+  {
+    const std::vector<double> thresholds{0.5, 0.7, 0.8, 0.9, 0.95};
+    std::vector<sim::PointResult> results(thresholds.size());
+    pool.parallel_for(thresholds.size(), [&](std::size_t i) {
+      sim::SimulationConfig config = sim::make_simulation_config(
+          experiment, predict::Method::kCorp);
+      config.stack->probability_threshold = thresholds[i];
+      results[i] = run_with(experiment, std::move(config), kJobs);
+    });
+    std::cout << "== sensitivity: probability threshold P_th (Eq. 21) ==\n";
+    util::TextTable table(
+        {"P_th", "overall util", "slo violation", "opportunistic",
+         "pred error"});
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      row(table, util::format_double(thresholds[i], 3), results[i]);
+    }
+    std::cout << table.to_string()
+              << "(higher P_th -> fewer unlocked pools -> less "
+                 "opportunistic reuse, fewer violations)\n\n";
+  }
+
+  // --- N_v sweep (Table II: 100-400 VMs) -----------------------------------
+  // Traces are generated against the BASE environment so job sizes stay
+  // fixed while the same 50 PMs are carved into more, smaller VMs.
+  {
+    const std::vector<std::size_t> vms_per_pm{2, 4, 8};
+    std::vector<sim::PointResult> results(vms_per_pm.size());
+    pool.parallel_for(vms_per_pm.size(), [&](std::size_t i) {
+      sim::SimulationConfig config =
+          sim::make_simulation_config(experiment, predict::Method::kCorp);
+      config.environment.vms_per_pm = vms_per_pm[i];
+      results[i] = run_with(experiment, std::move(config), kJobs);
+    });
+    std::cout << "== sensitivity: number of VMs N_v (50 PMs) ==\n";
+    util::TextTable table({"N_v", "overall util", "slo violation",
+                           "opportunistic", "pred error"});
+    for (std::size_t i = 0; i < vms_per_pm.size(); ++i) {
+      row(table, std::to_string(50 * vms_per_pm[i]), results[i]);
+    }
+    std::cout << table.to_string()
+              << "(smaller VMs host fewer donor jobs each, shrinking the "
+                 "per-VM unused pool opportunistic placements draw on)\n\n";
+  }
+
+  // --- window L sweep -----------------------------------------------------
+  {
+    const std::vector<std::size_t> windows{3, 6, 12};
+    std::vector<sim::PointResult> results(windows.size());
+    pool.parallel_for(windows.size(), [&](std::size_t i) {
+      sim::ExperimentConfig exp = experiment;
+      exp.params.window_slots = windows[i];
+      sim::SimulationConfig config =
+          sim::make_simulation_config(exp, predict::Method::kCorp);
+      config.stack->horizon_slots = windows[i];
+      results[i] = run_with(exp, std::move(config), kJobs);
+    });
+    std::cout << "== sensitivity: prediction window L (slots of 10 s) ==\n";
+    util::TextTable table({"L", "overall util", "slo violation",
+                           "opportunistic", "pred error"});
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      row(table, std::to_string(windows[i]), results[i]);
+    }
+    std::cout << table.to_string()
+              << "(the paper chose L = 6 slots = 1 minute because "
+                 "short-lived jobs typically run minutes)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scenario: a burst of short-lived IoT / online-analytics queries — the
+// workload the paper's introduction motivates ("short-lived queries in the
+// applications of Internet-of-Things and online data processing, typically
+// run for seconds or minutes").
+//
+// A storm of sub-minute queries lands on an already-busy cluster; CORP
+// absorbs it by riding the temporarily-unused headroom of the resident
+// jobs' reservations instead of queueing behind fresh capacity.
+//
+//   ./iot_query_burst [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace corp;
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 11;
+
+  const auto env = cluster::EnvironmentConfig::PalmettoCluster();
+
+  // Background: medium-length tasks spread over five minutes.
+  trace::GeneratorConfig background =
+      sim::scaled_generator_config(env, 60, 30);
+  background.duration_log_mu = 2.4;  // longer residents (median ~11 slots)
+
+  // Burst: many tiny queries arriving within 30 seconds.
+  trace::GeneratorConfig burst = sim::scaled_generator_config(env, 80, 3);
+  burst.duration_log_mu = 1.0;   // median ~3 slots (30 s)
+  burst.duration_log_sigma = 0.4;
+  burst.tasks_log_mu = 1.8;      // large fan-out per query job
+
+  util::Rng rng(seed);
+  trace::GoogleTraceGenerator bg_gen(background);
+  trace::GoogleTraceGenerator burst_gen(burst);
+  trace::Trace workload = bg_gen.generate(rng);
+  trace::Trace storm = burst_gen.generate(rng);
+  // The storm lands at slot 12, mid-way through the background wave.
+  for (auto job : storm.jobs()) {
+    job.submit_slot += 12;
+    job.id += 1'000'000;  // keep ids unique across the merge
+    workload.add(job);
+  }
+  workload.sort();
+
+  std::cout << "IoT query burst: " << workload.size()
+            << " tasks (background + storm at t=120s) on " << env.name
+            << "\n\n";
+
+  // Historical corpus for training, from the same cluster's past.
+  trace::GoogleTraceGenerator history_gen(
+      sim::scaled_generator_config(env, 200, 240));
+  util::Rng history_rng(seed * 13 + 1);
+  const trace::Trace history = history_gen.generate(history_rng);
+
+  util::TextTable table({"method", "overall util", "slo violations",
+                         "opportunistic", "mean stretch", "latency ms"});
+  sim::ExperimentConfig experiment;
+  experiment.environment = env;
+  experiment.seed = seed;
+  for (predict::Method method : predict::kAllMethods) {
+    // The harness maps Table II's conservative corner values onto a
+    // moderate default operating point per method.
+    sim::SimulationConfig config =
+        sim::make_simulation_config(experiment, method);
+    config.seed = seed;
+    sim::Simulation simulation(std::move(config));
+    simulation.train(history);
+    const sim::SimulationResult r = simulation.run(workload);
+    table.add_row(std::string(predict::method_name(method)),
+                  {r.overall_utilization, r.slo_violation_rate,
+                   static_cast<double>(r.opportunistic_placements),
+                   r.mean_stretch, r.total_latency_ms});
+  }
+  std::cout << table.to_string()
+            << "\nCORP's opportunistic placements absorb the storm on the "
+               "residents' unused reservations; the demand-based baselines "
+               "must commit fresh capacity for every query.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "cluster/cluster.hpp"
+
+namespace corp::cluster {
+
+Cluster::Cluster(const EnvironmentConfig& env) : env_(env) {
+  pms_.reserve(env.num_pms);
+  vms_.reserve(env.total_vms());
+  const ResourceVector vm_cap = env.vm_capacity();
+  std::uint32_t vm_id = 0;
+  for (std::size_t p = 0; p < env.num_pms; ++p) {
+    PhysicalMachine pm;
+    pm.id = static_cast<std::uint32_t>(p);
+    pm.capacity = env.pm_capacity;
+    for (std::size_t v = 0; v < env.vms_per_pm; ++v) {
+      pm.vm_ids.push_back(vm_id);
+      vms_.emplace_back(vm_id, pm.id, vm_cap);
+      ++vm_id;
+    }
+    pms_.push_back(std::move(pm));
+  }
+}
+
+ResourceVector Cluster::max_vm_capacity() const {
+  ResourceVector c;
+  for (const auto& vm : vms_) {
+    c = ResourceVector::max(c, vm.capacity());
+  }
+  return c;
+}
+
+ResourceVector Cluster::total_committed() const {
+  ResourceVector total;
+  for (const auto& vm : vms_) total += vm.committed();
+  return total;
+}
+
+ResourceVector Cluster::total_capacity() const {
+  ResourceVector total;
+  for (const auto& vm : vms_) total += vm.capacity();
+  return total;
+}
+
+void Cluster::reset() {
+  for (auto& vm : vms_) {
+    vm.release(vm.committed());
+  }
+}
+
+}  // namespace corp::cluster

@@ -1,0 +1,55 @@
+// The cluster: PMs and the VMs carved from them, built from an
+// EnvironmentConfig. PMs are thin records (the allocation problem the
+// paper studies is VM-level); VM state carries the reservation ledger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/environment.hpp"
+#include "cluster/vm.hpp"
+
+namespace corp::cluster {
+
+struct PhysicalMachine {
+  std::uint32_t id = 0;
+  ResourceVector capacity;
+  std::vector<std::uint32_t> vm_ids;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const EnvironmentConfig& env);
+
+  const EnvironmentConfig& environment() const { return env_; }
+
+  std::size_t num_pms() const { return pms_.size(); }
+  std::size_t num_vms() const { return vms_.size(); }
+
+  const PhysicalMachine& pm(std::size_t i) const { return pms_.at(i); }
+  VirtualMachine& vm(std::size_t i) { return vms_.at(i); }
+  const VirtualMachine& vm(std::size_t i) const { return vms_.at(i); }
+
+  std::vector<VirtualMachine>& vms() { return vms_; }
+  const std::vector<VirtualMachine>& vms() const { return vms_; }
+
+  /// Component-wise maximum VM capacity C' = <C'_1, ..., C'_l> (Eq. 22's
+  /// normalizer for the unused resource volume).
+  ResourceVector max_vm_capacity() const;
+
+  /// Total committed resource across all VMs (Eq. 1-4 denominators).
+  ResourceVector total_committed() const;
+
+  /// Total capacity across all VMs.
+  ResourceVector total_capacity() const;
+
+  /// Releases every reservation (start of a fresh simulation run).
+  void reset();
+
+ private:
+  EnvironmentConfig env_;
+  std::vector<PhysicalMachine> pms_;
+  std::vector<VirtualMachine> vms_;
+};
+
+}  // namespace corp::cluster

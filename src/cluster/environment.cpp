@@ -1,0 +1,30 @@
+#include "cluster/environment.hpp"
+
+namespace corp::cluster {
+
+trace::ResourceVector EnvironmentConfig::vm_capacity() const {
+  const double inv = 1.0 / static_cast<double>(vms_per_pm);
+  return pm_capacity * inv;
+}
+
+EnvironmentConfig EnvironmentConfig::PalmettoCluster() {
+  EnvironmentConfig env;
+  env.name = "palmetto-cluster";
+  env.num_pms = 50;
+  env.vms_per_pm = 2;
+  env.pm_capacity = trace::ResourceVector(16.0, 64.0, 720.0);
+  env.comm_overhead_us = 50.0;
+  return env;
+}
+
+EnvironmentConfig EnvironmentConfig::AmazonEc2() {
+  EnvironmentConfig env;
+  env.name = "amazon-ec2";
+  env.num_pms = 30;
+  env.vms_per_pm = 1;  // "each node is simulated as a VM"
+  env.pm_capacity = trace::ResourceVector(2.0, 4.0, 720.0);
+  env.comm_overhead_us = 400.0;
+  return env;
+}
+
+}  // namespace corp::cluster

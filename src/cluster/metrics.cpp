@@ -1,0 +1,97 @@
+#include "cluster/metrics.hpp"
+
+namespace corp::cluster {
+
+double utilization(std::span<const AllocationSample> samples,
+                   ResourceKind kind) {
+  const auto k = static_cast<std::size_t>(kind);
+  double demand = 0.0, allocated = 0.0;
+  for (const auto& s : samples) {
+    demand += s.demand[k];
+    allocated += s.allocated[k];
+  }
+  return allocated > 0.0 ? demand / allocated : 0.0;
+}
+
+double overall_utilization(std::span<const AllocationSample> samples,
+                           const ResourceWeights& weights) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < kNumResources; ++k) {
+    double demand = 0.0, allocated = 0.0;
+    for (const auto& s : samples) {
+      demand += s.demand[k];
+      allocated += s.allocated[k];
+    }
+    num += weights.w[k] * demand;
+    den += weights.w[k] * allocated;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double wastage(std::span<const AllocationSample> samples, ResourceKind kind) {
+  const auto k = static_cast<std::size_t>(kind);
+  double waste = 0.0, allocated = 0.0;
+  for (const auto& s : samples) {
+    waste += s.allocated[k] - s.demand[k];
+    allocated += s.allocated[k];
+  }
+  return allocated > 0.0 ? waste / allocated : 0.0;
+}
+
+double overall_wastage(std::span<const AllocationSample> samples,
+                       const ResourceWeights& weights) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < kNumResources; ++k) {
+    double waste = 0.0, allocated = 0.0;
+    for (const auto& s : samples) {
+      waste += s.allocated[k] - s.demand[k];
+      allocated += s.allocated[k];
+    }
+    num += weights.w[k] * waste;
+    den += weights.w[k] * allocated;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+SlotMetricsAccumulator::SlotMetricsAccumulator(ResourceWeights weights)
+    : weights_(weights) {}
+
+void SlotMetricsAccumulator::observe_slot(
+    std::span<const AllocationSample> samples) {
+  // Skip slots with no allocation at all.
+  double total_alloc = 0.0;
+  for (const auto& s : samples) total_alloc += s.allocated.total();
+  if (total_alloc <= 0.0) return;
+  ++slots_;
+  for (const auto& s : samples) {
+    total_demand_ += s.demand;
+    total_allocated_ += s.allocated;
+  }
+}
+
+double SlotMetricsAccumulator::mean_utilization(ResourceKind kind) const {
+  const auto k = static_cast<std::size_t>(kind);
+  return total_allocated_[k] > 0.0 ? total_demand_[k] / total_allocated_[k]
+                                   : 0.0;
+}
+
+double SlotMetricsAccumulator::mean_overall_utilization() const {
+  const double num = total_demand_.weighted_total(weights_.w);
+  const double den = total_allocated_.weighted_total(weights_.w);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double SlotMetricsAccumulator::mean_wastage(ResourceKind kind) const {
+  const auto k = static_cast<std::size_t>(kind);
+  return total_allocated_[k] > 0.0
+             ? (total_allocated_[k] - total_demand_[k]) / total_allocated_[k]
+             : 0.0;
+}
+
+double SlotMetricsAccumulator::mean_overall_wastage() const {
+  const double num = (total_allocated_ - total_demand_).weighted_total(weights_.w);
+  const double den = total_allocated_.weighted_total(weights_.w);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace corp::cluster

@@ -1,0 +1,42 @@
+#include "cluster/slo.hpp"
+
+namespace corp::cluster {
+
+void SloTracker::record(std::uint64_t job_id, std::size_t nominal_slots,
+                        std::size_t response_slots, double threshold_slots) {
+  JobOutcome outcome;
+  outcome.job_id = job_id;
+  outcome.nominal_slots = nominal_slots;
+  outcome.response_slots = response_slots;
+  outcome.threshold_slots = threshold_slots;
+  outcome.violated = threshold_slots > 0.0 &&
+                     static_cast<double>(response_slots) > threshold_slots;
+  if (outcome.violated) ++violations_;
+  outcomes_.push_back(outcome);
+}
+
+double SloTracker::violation_rate() const {
+  if (outcomes_.empty()) return 0.0;
+  return static_cast<double>(violations_) /
+         static_cast<double>(outcomes_.size());
+}
+
+double SloTracker::mean_stretch() const {
+  if (outcomes_.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& o : outcomes_) {
+    if (o.nominal_slots == 0) continue;
+    total += static_cast<double>(o.response_slots) /
+             static_cast<double>(o.nominal_slots);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+void SloTracker::reset() {
+  outcomes_.clear();
+  violations_ = 0;
+}
+
+}  // namespace corp::cluster

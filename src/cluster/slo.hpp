@@ -1,0 +1,51 @@
+// Service Level Objective accounting.
+//
+// Sec. IV: "SLO is specified by using a threshold on the response time of a
+// job, and the threshold is set based on the execution time of a task in
+// the trace ... the SLO violation occurs when a job's response time exceeds
+// the threshold." A job starved of resources progresses slower than 1 slot
+// of work per slot, stretching its response time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace corp::cluster {
+
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  /// Nominal execution slots when fully provisioned.
+  std::size_t nominal_slots = 0;
+  /// Actual slots from start of execution to completion.
+  std::size_t response_slots = 0;
+  /// Threshold in slots (nominal * slo_stretch).
+  double threshold_slots = 0.0;
+  bool violated = false;
+};
+
+class SloTracker {
+ public:
+  /// Records a completed job. `violated` is derived from response vs
+  /// threshold; completions with threshold <= 0 are counted non-violated.
+  void record(std::uint64_t job_id, std::size_t nominal_slots,
+              std::size_t response_slots, double threshold_slots);
+
+  std::size_t completed() const { return outcomes_.size(); }
+  std::size_t violations() const { return violations_; }
+
+  /// Violation rate in [0, 1]; 0 when nothing completed.
+  double violation_rate() const;
+
+  /// Mean response stretch (response / nominal) over completed jobs.
+  double mean_stretch() const;
+
+  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+
+  void reset();
+
+ private:
+  std::vector<JobOutcome> outcomes_;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace corp::cluster

@@ -1,0 +1,42 @@
+#include "cluster/vm.hpp"
+
+namespace corp::cluster {
+
+VirtualMachine::VirtualMachine(std::uint32_t id, std::uint32_t pm_id,
+                               const ResourceVector& capacity)
+    : id_(id), pm_id_(pm_id), capacity_(capacity) {
+  if (capacity.any_negative()) {
+    throw std::invalid_argument("VirtualMachine: negative capacity");
+  }
+}
+
+ResourceVector VirtualMachine::unallocated() const {
+  return (capacity_ - committed_).clamped_non_negative();
+}
+
+bool VirtualMachine::can_commit(const ResourceVector& amount) const {
+  return (committed_ + amount).fits_within(capacity_, 1e-6);
+}
+
+void VirtualMachine::commit(const ResourceVector& amount) {
+  if (!can_commit(amount)) {
+    throw std::runtime_error("VirtualMachine::commit: over capacity");
+  }
+  committed_ += amount;
+}
+
+void VirtualMachine::release(const ResourceVector& amount) {
+  committed_ = (committed_ - amount).clamped_non_negative();
+}
+
+double VirtualMachine::committed_fraction(
+    const trace::ResourceWeights& weights) const {
+  double num = 0.0, den = 0.0;
+  for (std::size_t r = 0; r < trace::kNumResources; ++r) {
+    num += weights.w[r] * committed_[r];
+    den += weights.w[r] * capacity_[r];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace corp::cluster

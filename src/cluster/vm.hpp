@@ -1,0 +1,54 @@
+// Virtual machine state: capacity plus the reservation ledger.
+//
+// `committed` is the fresh-allocated (reserved) resource on the VM — the
+// r_{ij,t} denominators of Eq. 1-4 sum over it. Opportunistic placements
+// (CORP/RCCR reusing temporarily-unused resource) deliberately do NOT move
+// `committed`: they ride on allocations that already exist, which is the
+// mechanism by which opportunistic provisioning raises utilization.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "trace/resources.hpp"
+
+namespace corp::cluster {
+
+using trace::ResourceVector;
+
+class VirtualMachine {
+ public:
+  VirtualMachine(std::uint32_t id, std::uint32_t pm_id,
+                 const ResourceVector& capacity);
+
+  std::uint32_t id() const { return id_; }
+  std::uint32_t pm_id() const { return pm_id_; }
+  const ResourceVector& capacity() const { return capacity_; }
+  const ResourceVector& committed() const { return committed_; }
+
+  /// capacity - committed, the fresh resource still available.
+  ResourceVector unallocated() const;
+
+  /// True when `amount` fits in the unallocated remainder.
+  bool can_commit(const ResourceVector& amount) const;
+
+  /// Reserves `amount`; throws std::runtime_error when it does not fit
+  /// (callers must check can_commit — violating capacity is a logic bug,
+  /// not an expected runtime condition).
+  void commit(const ResourceVector& amount);
+
+  /// Returns `amount` to the pool; clamps at zero to absorb floating-point
+  /// dust from repeated commit/release cycles.
+  void release(const ResourceVector& amount);
+
+  /// Fraction of capacity committed, weighted; used for reporting.
+  double committed_fraction(const trace::ResourceWeights& weights) const;
+
+ private:
+  std::uint32_t id_;
+  std::uint32_t pm_id_;
+  ResourceVector capacity_;
+  ResourceVector committed_;
+};
+
+}  // namespace corp::cluster

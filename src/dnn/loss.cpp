@@ -1,0 +1,43 @@
+#include "dnn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corp::dnn {
+
+double mse(std::span<const double> prediction, std::span<const double> target) {
+  if (prediction.size() != target.size() || prediction.empty()) {
+    throw std::invalid_argument("mse: size mismatch or empty");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - target[i];
+    s += d * d;
+  }
+  return 0.5 * s / static_cast<double>(prediction.size());
+}
+
+void mse_gradient(std::span<const double> prediction,
+                  std::span<const double> target, std::span<double> grad) {
+  if (prediction.size() != target.size() || prediction.size() != grad.size()) {
+    throw std::invalid_argument("mse_gradient: size mismatch");
+  }
+  const double inv_n = 1.0 / static_cast<double>(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    grad[i] = (prediction[i] - target[i]) * inv_n;
+  }
+}
+
+double mae_loss(std::span<const double> prediction,
+                std::span<const double> target) {
+  if (prediction.size() != target.size() || prediction.empty()) {
+    throw std::invalid_argument("mae_loss: size mismatch or empty");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    s += std::abs(prediction[i] - target[i]);
+  }
+  return s / static_cast<double>(prediction.size());
+}
+
+}  // namespace corp::dnn

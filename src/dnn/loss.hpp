@@ -1,0 +1,21 @@
+// Regression losses. Training minimizes MSE; the gradient definition keeps
+// the sign convention of Eq. 6: E_i = (t_i - g_i) * F'(g_i), i.e. the error
+// term is the *negative* of dLoss/dOutput for 0.5*(t-g)^2.
+#pragma once
+
+#include <span>
+
+namespace corp::dnn {
+
+/// 0.5 * mean squared error over a batch of scalar comparisons.
+double mse(std::span<const double> prediction, std::span<const double> target);
+
+/// d(0.5*(t-g)^2)/dg = (g - t), written per-component into `grad`.
+void mse_gradient(std::span<const double> prediction,
+                  std::span<const double> target, std::span<double> grad);
+
+/// Mean absolute error (reporting only).
+double mae_loss(std::span<const double> prediction,
+                std::span<const double> target);
+
+}  // namespace corp::dnn

@@ -1,0 +1,86 @@
+#include "dnn/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace corp::dnn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+Vector Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("Matrix::multiply: dimension mismatch");
+  }
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transposed(std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument(
+        "Matrix::multiply_transposed: dimension mismatch");
+  }
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += xr * row_ptr[c];
+  }
+  return y;
+}
+
+void Matrix::add_outer(std::span<const double> a, std::span<const double> b,
+                       double scale) {
+  if (a.size() != rows_ || b.size() != cols_) {
+    throw std::invalid_argument("Matrix::add_outer: dimension mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double ar = scale * a[r];
+    if (ar == 0.0) continue;
+    double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) row_ptr[c] += ar * b[c];
+  }
+}
+
+void Matrix::add_scaled(const Matrix& other, double scale) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& x : m.data_) x = rng.uniform(-limit, limit);
+  return m;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace corp::dnn

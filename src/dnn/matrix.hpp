@@ -1,0 +1,77 @@
+// Dense row-major matrix for the feed-forward network.
+//
+// The paper's DNN is tiny (Table II: 4 layers x 50 units), so clarity wins
+// over blocking/vectorization tricks; the only hot kernel, gemv, is written
+// to be auto-vectorizer friendly (contiguous row walks, no aliasing).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corp::dnn {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  void fill(double value);
+
+  /// y = A x  (x.size() == cols, result.size() == rows).
+  Vector multiply(std::span<const double> x) const;
+
+  /// y = A^T x (x.size() == rows, result.size() == cols). Used by
+  /// back-propagation (Eq. 7) without materializing the transpose.
+  Vector multiply_transposed(std::span<const double> x) const;
+
+  /// this += scale * (a outer b), a.size()==rows, b.size()==cols. The
+  /// weight-update kernel of Eq. 8.
+  void add_outer(std::span<const double> a, std::span<const double> b,
+                 double scale);
+
+  /// this += scale * other (same shape).
+  void add_scaled(const Matrix& other, double scale);
+
+  /// Xavier/Glorot uniform init: U(-limit, limit), limit = sqrt(6/(in+out)).
+  static Matrix xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Element-wise helpers used throughout training.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace corp::dnn

@@ -1,0 +1,70 @@
+#include "dnn/network.hpp"
+
+#include <stdexcept>
+
+namespace corp::dnn {
+
+Network::Network(const NetworkConfig& config, util::Rng& rng)
+    : config_(config) {
+  if (config.input_size == 0 || config.output_size == 0) {
+    throw std::invalid_argument("NetworkConfig: zero input/output size");
+  }
+  if (config.hidden_layers == 0) {
+    throw std::invalid_argument("NetworkConfig: needs >= 1 hidden layer");
+  }
+  std::size_t prev = config.input_size;
+  for (std::size_t i = 0; i < config.hidden_layers; ++i) {
+    layers_.emplace_back(prev, config.hidden_units, config.hidden_activation,
+                         rng);
+    prev = config.hidden_units;
+  }
+  layers_.emplace_back(prev, config.output_size, config.output_activation,
+                       rng);
+}
+
+std::vector<DenseLayer*> Network::layer_pointers() {
+  std::vector<DenseLayer*> ptrs;
+  ptrs.reserve(layers_.size());
+  for (auto& layer : layers_) ptrs.push_back(&layer);
+  return ptrs;
+}
+
+Vector Network::forward(std::span<const double> input) {
+  Vector current(input.begin(), input.end());
+  for (auto& layer : layers_) {
+    current = layer.forward(current);
+  }
+  return current;
+}
+
+void Network::backward(std::span<const double> output_grad) {
+  Vector grad(output_grad.begin(), output_grad.end());
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = it->backward(grad);
+  }
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+double Network::train_sample(std::span<const double> input,
+                             std::span<const double> target) {
+  const Vector prediction = forward(input);
+  if (prediction.size() != target.size()) {
+    throw std::invalid_argument("train_sample: target size mismatch");
+  }
+  const double loss = mse(prediction, target);
+  Vector grad(prediction.size());
+  mse_gradient(prediction, target, grad);
+  backward(grad);
+  return loss;
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.parameter_count();
+  return n;
+}
+
+}  // namespace corp::dnn

@@ -1,0 +1,47 @@
+#include "dnn/normalizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corp::dnn {
+
+void MinMaxNormalizer::fit(std::span<const double> data) {
+  if (data.empty()) {
+    throw std::invalid_argument("MinMaxNormalizer::fit: empty data");
+  }
+  min_ = *std::min_element(data.begin(), data.end());
+  max_ = *std::max_element(data.begin(), data.end());
+  fitted_ = true;
+}
+
+double MinMaxNormalizer::transform(double x) const {
+  if (!fitted_) throw std::logic_error("MinMaxNormalizer: not fitted");
+  const double range = max_ - min_;
+  if (range <= 0.0) return 0.5;
+  return (x - min_) / range;
+}
+
+double MinMaxNormalizer::inverse(double y) const {
+  if (!fitted_) throw std::logic_error("MinMaxNormalizer: not fitted");
+  const double range = max_ - min_;
+  if (range <= 0.0) return min_;
+  return min_ + y * range;
+}
+
+std::vector<double> MinMaxNormalizer::transform(
+    std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(transform(x));
+  return out;
+}
+
+std::vector<double> MinMaxNormalizer::inverse(
+    std::span<const double> ys) const {
+  std::vector<double> out;
+  out.reserve(ys.size());
+  for (double y : ys) out.push_back(inverse(y));
+  return out;
+}
+
+}  // namespace corp::dnn

@@ -1,0 +1,35 @@
+// Min-max feature scaling. Sigmoid hidden units need inputs in a bounded
+// range; the normalizer maps raw utilization histories into [0, 1] and maps
+// predictions back to resource units.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace corp::dnn {
+
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+
+  /// Learns the min/max of the data. Degenerate (constant) data maps to
+  /// 0.5 in transform(). Throws std::invalid_argument on empty input.
+  void fit(std::span<const double> data);
+
+  bool fitted() const { return fitted_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double transform(double x) const;
+  double inverse(double y) const;
+
+  std::vector<double> transform(std::span<const double> xs) const;
+  std::vector<double> inverse(std::span<const double> ys) const;
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace corp::dnn

@@ -1,0 +1,127 @@
+#include "dnn/parallel_trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace corp::dnn {
+
+ParallelTrainer::ParallelTrainer(ParallelTrainerConfig config,
+                                 util::Rng& rng)
+    : config_(config), rng_(rng.fork()), pool_(config.workers) {
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("ParallelTrainer: batch_size must be > 0");
+  }
+}
+
+void ParallelTrainer::broadcast(const Network& master,
+                                std::vector<Network>& replicas) {
+  for (Network& replica : replicas) {
+    for (std::size_t li = 0; li < master.layer_count(); ++li) {
+      replica.layer(li).weights() = master.layer(li).weights();
+      replica.layer(li).bias() = master.layer(li).bias();
+    }
+  }
+}
+
+void ParallelTrainer::reduce_gradients(Network& master,
+                                       std::vector<Network>& replicas,
+                                       double scale) {
+  for (std::size_t li = 0; li < master.layer_count(); ++li) {
+    DenseLayer& target = master.layer(li);
+    for (Network& replica : replicas) {
+      target.grad_weights().add_scaled(replica.layer(li).grad_weights(),
+                                       scale);
+      const auto& rb = replica.layer(li).grad_bias();
+      for (std::size_t i = 0; i < rb.size(); ++i) {
+        target.grad_bias()[i] += scale * rb[i];
+      }
+    }
+  }
+}
+
+TrainReport ParallelTrainer::fit(Network& network, Optimizer& optimizer,
+                                 const Dataset& data) {
+  if (!data.consistent()) {
+    throw std::invalid_argument("ParallelTrainer::fit: inconsistent dataset");
+  }
+  TrainReport report;
+  if (data.size() == 0) return report;
+
+  auto [train, val] = data.split_validation(config_.validation_fraction);
+  if (train.size() == 0) {
+    train = data;
+    val = data;
+  }
+  optimizer.bind(network.layer_pointers());
+
+  // Worker replicas (same architecture, parameters synced per batch).
+  std::vector<Network> replicas;
+  replicas.reserve(pool_.size());
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    util::Rng replica_rng = rng_.fork();
+    replicas.emplace_back(network.config(), replica_rng);
+  }
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t since_best = 0;
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    std::vector<std::size_t> order;
+    if (config_.shuffle) {
+      order = rng_.permutation(train.size());
+    } else {
+      order.resize(train.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    }
+
+    double epoch_loss = 0.0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const std::size_t end =
+          std::min(begin + config_.batch_size, order.size());
+      const std::size_t batch = end - begin;
+
+      broadcast(network, replicas);
+      std::vector<double> worker_loss(replicas.size(), 0.0);
+      pool_.parallel_for(replicas.size(), [&](std::size_t w) {
+        Network& replica = replicas[w];
+        replica.zero_grad();
+        // Contiguous shard of the batch for worker w.
+        const std::size_t shard =
+            (batch + replicas.size() - 1) / replicas.size();
+        const std::size_t lo = begin + w * shard;
+        const std::size_t hi = std::min(lo + shard, end);
+        for (std::size_t s = lo; s < hi; ++s) {
+          worker_loss[w] += replica.train_sample(train.inputs[order[s]],
+                                                 train.targets[order[s]]);
+        }
+      });
+
+      network.zero_grad();
+      reduce_gradients(network, replicas,
+                       1.0 / static_cast<double>(batch));
+      optimizer.step();
+      for (double l : worker_loss) epoch_loss += l;
+    }
+
+    report.final_train_loss =
+        epoch_loss / static_cast<double>(train.size());
+    const double val_loss =
+        val.size() > 0 ? Trainer::evaluate(network, val)
+                       : report.final_train_loss;
+    report.validation_curve.push_back(val_loss);
+    report.epochs_run = epoch + 1;
+
+    if (val_loss < best_val - config_.min_delta) {
+      best_val = val_loss;
+      since_best = 0;
+    } else if (++since_best >= config_.patience) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.best_validation_loss = best_val;
+  return report;
+}
+
+}  // namespace corp::dnn

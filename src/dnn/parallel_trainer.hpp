@@ -1,0 +1,64 @@
+// Data-parallel training — the paper's stated future work ("we will
+// further consider designing a distributed deep learning training system
+// to reduce the computation overhead caused by DNN", Sec. VI).
+//
+// Synchronous data parallelism over a ThreadPool: each worker owns a
+// replica of the network, processes a shard of every mini-batch, and the
+// coordinator averages the accumulated gradients before one optimizer
+// step on the master replica, whose parameters are then broadcast back.
+// Equivalent in expectation to large-batch SGD; wall-clock scales with
+// workers until the per-batch synchronization dominates (measured by the
+// micro_kernels bench).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "dnn/optimizer.hpp"
+#include "dnn/trainer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace corp::dnn {
+
+struct ParallelTrainerConfig {
+  /// Worker replicas (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Samples per synchronous mini-batch (split across workers).
+  std::size_t batch_size = 32;
+  std::size_t max_epochs = 40;
+  std::size_t patience = 5;
+  double min_delta = 1e-7;
+  double validation_fraction = 0.2;
+  bool shuffle = true;
+};
+
+class ParallelTrainer {
+ public:
+  ParallelTrainer(ParallelTrainerConfig config, util::Rng& rng);
+
+  /// Trains `network` in place. The optimizer must already match the
+  /// network's architecture family (it is bound internally).
+  TrainReport fit(Network& network, Optimizer& optimizer,
+                  const Dataset& data);
+
+  std::size_t workers() const { return pool_.size(); }
+
+ private:
+  /// Copies master parameters into every replica.
+  static void broadcast(const Network& master,
+                        std::vector<Network>& replicas);
+
+  /// Adds each replica's accumulated gradients into the master's gradient
+  /// buffers, scaled by 1/batch so the step equals the batch average.
+  static void reduce_gradients(Network& master,
+                               std::vector<Network>& replicas,
+                               double scale);
+
+  ParallelTrainerConfig config_;
+  util::Rng rng_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace corp::dnn

@@ -1,0 +1,85 @@
+// Training loop: per-sample SGD epochs with a held-out validation set and
+// convergence-based stopping, exactly the procedure of Sec. III-A1a
+// ("training continues for multiple training epochs ... until the
+// validation set error converges to a low value"), plus the autoencoder
+// pretraining step the testing description alludes to ("the algorithm
+// autoencodes the input and generates the output").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "dnn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace corp::dnn {
+
+/// Supervised dataset of fixed-width rows.
+struct Dataset {
+  std::vector<Vector> inputs;
+  std::vector<Vector> targets;
+
+  std::size_t size() const { return inputs.size(); }
+  bool consistent() const;
+
+  /// Splits off the last `fraction` of samples as validation (chronological
+  /// split — time-series data must not leak future into past).
+  std::pair<Dataset, Dataset> split_validation(double fraction) const;
+};
+
+struct TrainerConfig {
+  std::size_t max_epochs = 60;
+  /// Stop when validation loss has not improved by more than min_delta for
+  /// `patience` consecutive epochs.
+  std::size_t patience = 5;
+  double min_delta = 1e-6;
+  double validation_fraction = 0.2;
+  /// Shuffle training order each epoch.
+  bool shuffle = true;
+  /// Epochs of layerwise autoencoder pretraining before supervised
+  /// training (0 disables).
+  std::size_t pretrain_epochs = 3;
+  double pretrain_learning_rate = 0.05;
+};
+
+struct TrainReport {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_validation_loss = 0.0;
+  bool converged = false;  // stopped via patience rather than max_epochs
+  std::vector<double> validation_curve;
+};
+
+class Trainer {
+ public:
+  Trainer(TrainerConfig config, util::Rng& rng);
+
+  /// Trains the network in place using the given optimizer. The optimizer
+  /// is bound to the network's layers internally.
+  TrainReport fit(Network& network, Optimizer& optimizer,
+                  const Dataset& data);
+
+  /// Mean loss of the network over a dataset without updating weights.
+  static double evaluate(Network& network, const Dataset& data);
+
+ private:
+  /// Greedy layerwise denoising-free autoencoder pretraining: each hidden
+  /// layer is trained to reconstruct its input through a transient decoder
+  /// before the supervised pass.
+  void pretrain(Network& network, const Dataset& data);
+
+  TrainerConfig config_;
+  util::Rng& rng_;
+};
+
+/// Builds a sliding-window dataset from a chronological series: input =
+/// `history` consecutive samples, target = the *mean* of the next
+/// `horizon` samples. The standard shape for the unused-resource
+/// predictor (input: last Delta slots; target: unused amount over the
+/// next window (t, t+L] — the window-level quantity Sec. III-A predicts;
+/// a single far slot would be dominated by irreducible per-slot noise).
+Dataset make_windowed_dataset(std::span<const double> series,
+                              std::size_t history, std::size_t horizon);
+
+}  // namespace corp::dnn

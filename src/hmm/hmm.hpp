@@ -1,0 +1,108 @@
+// Discrete Hidden Markov Model (Rabiner's classic formulation, which the
+// paper cites) with:
+//   - scaled forward/backward recursions (numerically safe for long
+//     observation sequences),
+//   - Viterbi decoding of the single best state path (Sec. III-A1b:
+//     "we use Viterbi algorithm to find the single best state sequence"),
+//   - Baum-Welch parameter re-estimation ("we use the method in [30] to
+//     re-estimate the parameters A, B, pi"),
+//   - the next-observation distribution of Eq. 17:
+//       E[P_{T+1}(k)] = sum_j P(q_{T+1} = S_j | q_T = q_L*) b_j(k).
+//
+// The CORP instantiation is H = 3 states (over-/normal-/under-provisioning)
+// and M = 3 symbols (peak/center/valley), but the class is generic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corp::hmm {
+
+/// Row-stochastic matrix stored as vector of rows.
+using StochasticMatrix = std::vector<std::vector<double>>;
+
+struct HmmParams {
+  StochasticMatrix transition;   // A: H x H
+  StochasticMatrix emission;     // B: H x M
+  std::vector<double> initial;   // pi: H
+
+  std::size_t num_states() const { return initial.size(); }
+  std::size_t num_symbols() const {
+    return emission.empty() ? 0 : emission.front().size();
+  }
+
+  /// Checks shapes and row-stochasticity within eps.
+  bool valid(double eps = 1e-6) const;
+};
+
+struct ForwardResult {
+  /// Scaled alpha_t(i); alpha[t][i] * prod(c[0..t]) equals the raw value.
+  std::vector<std::vector<double>> alpha;
+  /// Per-step scaling coefficients (c_t = 1 / sum_i raw_alpha_t(i)).
+  std::vector<double> scale;
+  double log_likelihood = 0.0;
+};
+
+struct BaumWelchReport {
+  std::size_t iterations = 0;
+  double final_log_likelihood = 0.0;
+  bool converged = false;
+};
+
+class DiscreteHmm {
+ public:
+  /// Random near-uniform initialization (Baum-Welch needs asymmetry to
+  /// break out of the uniform fixed point).
+  DiscreteHmm(std::size_t num_states, std::size_t num_symbols,
+              util::Rng& rng);
+
+  /// Explicit parameters; throws std::invalid_argument if not valid().
+  explicit DiscreteHmm(HmmParams params);
+
+  const HmmParams& params() const { return params_; }
+  std::size_t num_states() const { return params_.num_states(); }
+  std::size_t num_symbols() const { return params_.num_symbols(); }
+
+  /// Scaled forward pass; observations are symbol indices in [0, M).
+  ForwardResult forward(std::span<const std::size_t> observations) const;
+
+  /// Scaled backward variables matching forward()'s scaling.
+  std::vector<std::vector<double>> backward(
+      std::span<const std::size_t> observations,
+      std::span<const double> scale) const;
+
+  /// log P(O | lambda).
+  double log_likelihood(std::span<const std::size_t> observations) const;
+
+  /// gamma_t(i) = P(q_t = S_i | O, lambda) (Eq. 12-13).
+  std::vector<std::vector<double>> posterior_states(
+      std::span<const std::size_t> observations) const;
+
+  /// Single best state path (Viterbi, log space).
+  std::vector<std::size_t> viterbi(
+      std::span<const std::size_t> observations) const;
+
+  /// Baum-Welch re-estimation in place over one observation sequence.
+  BaumWelchReport baum_welch(std::span<const std::size_t> observations,
+                             std::size_t max_iterations = 50,
+                             double tolerance = 1e-6);
+
+  /// Eq. 17: distribution over the next observation symbol, conditioning
+  /// on the Viterbi-decoded final state.
+  std::vector<double> next_symbol_distribution(
+      std::span<const std::size_t> observations) const;
+
+  /// argmax of next_symbol_distribution.
+  std::size_t predict_next_symbol(
+      std::span<const std::size_t> observations) const;
+
+ private:
+  void validate_observations(std::span<const std::size_t> observations) const;
+
+  HmmParams params_;
+};
+
+}  // namespace corp::hmm

@@ -1,0 +1,63 @@
+#include "hmm/symbolizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/time_series.hpp"
+
+namespace corp::hmm {
+
+std::string_view fluctuation_symbol_name(FluctuationSymbol s) {
+  switch (s) {
+    case FluctuationSymbol::kPeak: return "peak";
+    case FluctuationSymbol::kCenter: return "center";
+    case FluctuationSymbol::kValley: return "valley";
+  }
+  return "?";
+}
+
+void FluctuationSymbolizer::fit(std::span<const double> history) {
+  if (history.empty()) {
+    throw std::invalid_argument("FluctuationSymbolizer::fit: empty history");
+  }
+  min_ = *std::min_element(history.begin(), history.end());
+  max_ = *std::max_element(history.begin(), history.end());
+  double sum = 0.0;
+  for (double x : history) sum += x;
+  mean_ = sum / static_cast<double>(history.size());
+  fitted_ = true;
+}
+
+double FluctuationSymbolizer::lower_threshold() const {
+  if (!fitted_) throw std::logic_error("FluctuationSymbolizer: not fitted");
+  return min_ + 0.5 * (mean_ - min_);
+}
+
+double FluctuationSymbolizer::upper_threshold() const {
+  if (!fitted_) throw std::logic_error("FluctuationSymbolizer: not fitted");
+  return mean_ + 0.5 * (max_ - mean_);
+}
+
+FluctuationSymbol FluctuationSymbolizer::symbolize_range(double delta) const {
+  if (delta <= lower_threshold()) return FluctuationSymbol::kValley;
+  if (delta < upper_threshold()) return FluctuationSymbol::kCenter;
+  return FluctuationSymbol::kPeak;
+}
+
+std::vector<std::size_t> FluctuationSymbolizer::observation_sequence(
+    std::span<const double> series, std::size_t window) const {
+  const std::vector<double> ranges = util::window_ranges(series, window);
+  std::vector<std::size_t> symbols;
+  symbols.reserve(ranges.size());
+  for (double delta : ranges) {
+    symbols.push_back(static_cast<std::size_t>(symbolize_range(delta)));
+  }
+  return symbols;
+}
+
+double FluctuationSymbolizer::correction_magnitude() const {
+  if (!fitted_) throw std::logic_error("FluctuationSymbolizer: not fitted");
+  return std::max(0.0, std::min(max_ - mean_, mean_ - min_));
+}
+
+}  // namespace corp::hmm

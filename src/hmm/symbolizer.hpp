@@ -1,0 +1,72 @@
+// Fluctuation symbolizer (Sec. III-A1b).
+//
+// From historical unused-resource data it learns min/mean/max, splits
+// [min, max] into three subintervals at
+//     t1 = min + (mean - min) / 2      and
+//     t2 = mean + (max - mean) / 2,
+// and maps each observation window's range Delta_j = max - min within the
+// window to a symbol:
+//     Delta_j <= t1            -> VALLEY
+//     t1 < Delta_j < t2        -> CENTER
+//     Delta_j >= t2            -> PEAK
+// It also exposes the conservative correction magnitude
+//     min(h - m, m - l)
+// the predictor adds (peak) or subtracts (valley) from the DNN forecast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace corp::hmm {
+
+/// Observation symbols; values double as HMM symbol indices.
+enum class FluctuationSymbol : std::size_t {
+  kPeak = 0,
+  kCenter = 1,
+  kValley = 2,
+};
+
+inline constexpr std::size_t kNumFluctuationSymbols = 3;
+
+std::string_view fluctuation_symbol_name(FluctuationSymbol s);
+
+class FluctuationSymbolizer {
+ public:
+  FluctuationSymbolizer() = default;
+
+  /// Learns min/mean/max from historical unused-resource samples.
+  /// Throws std::invalid_argument on empty input.
+  void fit(std::span<const double> history);
+
+  bool fitted() const { return fitted_; }
+  double min() const { return min_; }
+  double mean() const { return mean_; }
+  double max() const { return max_; }
+
+  /// Lower/upper split points t1/t2.
+  double lower_threshold() const;
+  double upper_threshold() const;
+
+  /// Classifies a single window range Delta_j.
+  FluctuationSymbol symbolize_range(double delta) const;
+
+  /// Splits a chronological unused-resource series into `window`-slot
+  /// windows (the paper's L-1 subwindows between consecutive observation
+  /// slots) and emits one symbol per window.
+  std::vector<std::size_t> observation_sequence(
+      std::span<const double> series, std::size_t window) const;
+
+  /// min(h - m, m - l): the conservative prediction-correction amount
+  /// applied when the HMM predicts a peak or valley (Sec. III-A1b).
+  double correction_magnitude() const;
+
+ private:
+  double min_ = 0.0;
+  double mean_ = 0.0;
+  double max_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace corp::hmm

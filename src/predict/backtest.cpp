@@ -1,0 +1,54 @@
+#include "predict/backtest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corp::predict {
+
+BacktestReport backtest(PredictionStack& stack, const SeriesCorpus& corpus,
+                        const BacktestConfig& config) {
+  if (config.horizon == 0 || config.stride == 0) {
+    throw std::invalid_argument("backtest: horizon and stride must be > 0");
+  }
+  BacktestReport report;
+  double se = 0.0, ae = 0.0, bias = 0.0;
+  std::size_t covered = 0, in_band = 0;
+
+  for (const auto& series : corpus) {
+    if (series.size() < config.warmup_slots + config.horizon) continue;
+    for (std::size_t origin = config.warmup_slots;
+         origin + config.horizon <= series.size();
+         origin += config.stride) {
+      const std::span<const double> history(series.data(), origin);
+      const double predicted = stack.predict(history);
+      double actual = 0.0;
+      for (std::size_t h = 0; h < config.horizon; ++h) {
+        actual += series[origin + h];
+      }
+      actual /= static_cast<double>(config.horizon);
+
+      const double delta = actual - predicted;
+      se += delta * delta;
+      ae += std::abs(delta);
+      bias += delta;
+      if (delta >= 0.0) ++covered;
+      if (delta >= 0.0 && delta < config.epsilon) ++in_band;
+      ++report.forecasts;
+
+      if (config.feed_outcomes) {
+        stack.record_outcome(actual, predicted);
+      }
+    }
+  }
+  if (report.forecasts > 0) {
+    const auto n = static_cast<double>(report.forecasts);
+    report.rmse = std::sqrt(se / n);
+    report.mae = ae / n;
+    report.bias = bias / n;
+    report.coverage = static_cast<double>(covered) / n;
+    report.band_rate = static_cast<double>(in_band) / n;
+  }
+  return report;
+}
+
+}  // namespace corp::predict

@@ -1,0 +1,48 @@
+// Walk-forward (rolling-origin) backtesting for series predictors.
+//
+// Given a corpus of held-out series, a stack is evaluated exactly as it
+// would run online: at each origin it sees only the past, forecasts the
+// next window, and is scored against what then happened. Reports the
+// standard regression errors plus the two quantities CORP's control loop
+// actually consumes: the conservative-coverage rate P(delta >= 0) and the
+// Eq. 21 band rate P(0 <= delta < eps).
+#pragma once
+
+#include <cstddef>
+
+#include "predict/stacks.hpp"
+
+namespace corp::predict {
+
+struct BacktestConfig {
+  /// Slots of history exposed at the first origin.
+  std::size_t warmup_slots = 12;
+  /// Origin stride (1 = every slot; horizon = one score per window).
+  std::size_t stride = 6;
+  /// Forecast horizon in slots; the target is the window mean.
+  std::size_t horizon = 6;
+  /// Band width eps for the Eq. 21 rate, in series units.
+  double epsilon = 0.3;
+  /// Feed each outcome back into the stack (online operation) or keep
+  /// the stack frozen (pure evaluation).
+  bool feed_outcomes = true;
+};
+
+struct BacktestReport {
+  std::size_t forecasts = 0;
+  double rmse = 0.0;
+  double mae = 0.0;
+  /// Mean of delta = actual - predicted (positive = conservative).
+  double bias = 0.0;
+  /// P(delta >= 0): how often the forecast was a safe lower bound.
+  double coverage = 0.0;
+  /// P(0 <= delta < eps): the Eq. 21 band rate.
+  double band_rate = 0.0;
+};
+
+/// Walk-forward evaluation of `stack` over every series in `corpus`.
+/// The stack must already be trained.
+BacktestReport backtest(PredictionStack& stack, const SeriesCorpus& corpus,
+                        const BacktestConfig& config = {});
+
+}  // namespace corp::predict

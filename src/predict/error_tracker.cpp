@@ -1,0 +1,40 @@
+#include "predict/error_tracker.hpp"
+
+#include "util/stats.hpp"
+
+namespace corp::predict {
+
+PredictionErrorTracker::PredictionErrorTracker(std::size_t capacity)
+    : errors_(capacity) {}
+
+void PredictionErrorTracker::record(double actual, double predicted) {
+  errors_.push(actual - predicted);
+}
+
+double PredictionErrorTracker::stddev() const {
+  if (errors_.size() < 2) return 0.0;
+  util::RunningStats stats;
+  for (std::size_t i = 0; i < errors_.size(); ++i) stats.add(errors_.at(i));
+  return stats.stddev();
+}
+
+double PredictionErrorTracker::mean() const { return errors_.mean(); }
+
+double PredictionErrorTracker::probability_within(double epsilon) const {
+  if (errors_.empty()) return 0.0;
+  std::size_t within = 0;
+  for (std::size_t i = 0; i < errors_.size(); ++i) {
+    const double d = errors_.at(i);
+    if (d >= 0.0 && d < epsilon) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(errors_.size());
+}
+
+bool PredictionErrorTracker::unlocked(double epsilon,
+                                      double p_threshold) const {
+  return probability_within(epsilon) >= p_threshold;
+}
+
+void PredictionErrorTracker::reset() { errors_.clear(); }
+
+}  // namespace corp::predict

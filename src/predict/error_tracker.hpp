@@ -1,0 +1,47 @@
+// Prediction-error bookkeeping (Eq. 20-21).
+//
+// delta_{t+tau} = u_{t+tau} - u_hat_{t+L}: actual minus predicted unused
+// resource. The tracker estimates
+//   - sigma_hat, the SD of errors, for the confidence interval (Eq. 18);
+//   - Pr(0 <= delta < epsilon), the empirical probability the prediction
+//     under-estimated by less than epsilon, for the preemption gate
+//     (Eq. 21): resource is "unlocked" only when that probability is at
+//     least P_th.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time_series.hpp"
+
+namespace corp::predict {
+
+class PredictionErrorTracker {
+ public:
+  /// Retains up to `capacity` most recent errors.
+  explicit PredictionErrorTracker(std::size_t capacity = 512);
+
+  /// Records one error sample delta = actual - predicted.
+  void record(double actual, double predicted);
+
+  std::size_t count() const { return errors_.size(); }
+
+  /// Sample SD of retained errors (0 with < 2 samples).
+  double stddev() const;
+
+  /// Mean of retained errors (bias).
+  double mean() const;
+
+  /// Empirical Pr(0 <= delta < epsilon). With no samples returns 0 —
+  /// an untracked prediction must not unlock resources.
+  double probability_within(double epsilon) const;
+
+  /// Eq. 21: Pr(0 <= delta < epsilon) >= p_threshold.
+  bool unlocked(double epsilon, double p_threshold) const;
+
+  void reset();
+
+ private:
+  util::TimeSeries errors_;
+};
+
+}  // namespace corp::predict

@@ -1,0 +1,68 @@
+#include "predict/ets_predictor.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace corp::predict {
+
+EtsPredictor::EtsPredictor(EtsPredictorConfig config) : config_(config) {}
+
+double EtsPredictor::sse_one_step(std::span<const double> series, double alpha,
+                                  double beta) {
+  if (series.size() < 3) return 0.0;
+  double level = series[0];
+  double trend = series[1] - series[0];
+  double sse = 0.0;
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    const double forecast = level + trend;
+    const double err = series[t] - forecast;
+    sse += err * err;
+    const double prev_level = level;
+    level = alpha * series[t] + (1.0 - alpha) * (level + trend);
+    trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+  }
+  return sse;
+}
+
+void EtsPredictor::train(const SeriesCorpus& corpus) {
+  double best_sse = std::numeric_limits<double>::infinity();
+  const std::size_t n = config_.grid_steps;
+  for (std::size_t ai = 1; ai <= n; ++ai) {
+    const double alpha = static_cast<double>(ai) / static_cast<double>(n + 1);
+    for (std::size_t bi = config_.allow_no_trend ? 0 : 1; bi <= n; ++bi) {
+      const double beta = static_cast<double>(bi) / static_cast<double>(n + 1);
+      double sse = 0.0;
+      for (const auto& series : corpus) {
+        sse += sse_one_step(series, alpha, beta);
+      }
+      if (sse < best_sse) {
+        best_sse = sse;
+        alpha_ = alpha;
+        beta_ = beta;
+      }
+    }
+  }
+}
+
+double EtsPredictor::predict(std::span<const double> history,
+                             std::size_t horizon) {
+  if (history.empty()) return 0.0;
+  if (history.size() == 1) return history[0];
+  double level = history[0];
+  double trend = history[1] - history[0];
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    const double prev_level = level;
+    level = alpha_ * history[t] + (1.0 - alpha_) * (level + trend);
+    trend = beta_ * (level - prev_level) + (1.0 - beta_) * trend;
+  }
+  // Damped-trend extrapolation h steps ahead.
+  double forecast = level;
+  double damp = config_.trend_damping;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    forecast += trend * damp;
+    damp *= config_.trend_damping;
+  }
+  return forecast;
+}
+
+}  // namespace corp::predict

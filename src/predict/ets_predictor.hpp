@@ -1,0 +1,45 @@
+// Exponential smoothing (ETS) forecaster — the prediction engine of the
+// RCCR baseline ("we first used a time series forecasting technique, i.e.,
+// Exponential Smoothing (ETS), to predict the amount of unused resource",
+// Sec. IV). Holt's linear variant with the trend damped for multi-step
+// forecasts; train() grid-searches (alpha, beta) on one-step-ahead error
+// over the corpus, which is exactly where the method's pattern assumption
+// bites on pattern-free short-job series.
+#pragma once
+
+#include "predict/predictor.hpp"
+
+namespace corp::predict {
+
+struct EtsPredictorConfig {
+  /// Grid resolution for the (alpha, beta) search in (0, 1).
+  std::size_t grid_steps = 9;
+  /// Damping applied to the trend per extrapolated step.
+  double trend_damping = 0.85;
+  /// Allow beta = 0 (simple exponential smoothing) in the grid.
+  bool allow_no_trend = true;
+};
+
+class EtsPredictor final : public SeriesPredictor {
+ public:
+  explicit EtsPredictor(EtsPredictorConfig config = {});
+
+  void train(const SeriesCorpus& corpus) override;
+  double predict(std::span<const double> history,
+                 std::size_t horizon) override;
+  std::string_view name() const override { return "ets"; }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  /// Sum of squared one-step errors of (alpha, beta) over a series.
+  static double sse_one_step(std::span<const double> series, double alpha,
+                             double beta);
+
+  EtsPredictorConfig config_;
+  double alpha_ = 0.5;
+  double beta_ = 0.1;
+};
+
+}  // namespace corp::predict

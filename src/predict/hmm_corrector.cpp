@@ -1,0 +1,105 @@
+#include "predict/hmm_corrector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace corp::predict {
+
+HmmCorrector::HmmCorrector(const HmmCorrectorConfig& config, util::Rng& rng)
+    : config_(config), rng_(rng.fork()) {
+  if (config.window_slots < 2) {
+    throw std::invalid_argument("HmmCorrector: window_slots must be >= 2");
+  }
+}
+
+void HmmCorrector::fit(const SeriesCorpus& corpus) {
+  std::vector<double> pooled;
+  for (const auto& series : corpus) {
+    pooled.insert(pooled.end(), series.begin(), series.end());
+  }
+  if (pooled.empty()) {
+    throw std::invalid_argument("HmmCorrector::fit: empty corpus");
+  }
+  symbolizer_.fit(pooled);
+
+  // The correction magnitude min(h - m, m - l) is computed over *window
+  // means* (the quantity the stack predicts), not raw slots, and h/l are
+  // taken as the 80th/20th percentiles of the window-mean distribution
+  // rather than absolute extremes: a correction sized to the extreme
+  // band would dwarf the prediction error it is meant to fix.
+  std::vector<double> window_means;
+  for (const auto& series : corpus) {
+    for (std::size_t start = 0; start + config_.window_slots <= series.size();
+         start += config_.window_slots) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < config_.window_slots; ++i) {
+        mean += series[start + i];
+      }
+      window_means.push_back(mean /
+                             static_cast<double>(config_.window_slots));
+    }
+  }
+  if (window_means.empty()) {
+    window_means.assign(pooled.begin(), pooled.end());
+  }
+  const double m = util::mean_of(window_means);
+  const double h = util::percentile(window_means, 0.80);
+  const double l = util::percentile(window_means, 0.20);
+  magnitude_ = std::max(0.0, std::min(h - m, m - l));
+
+  // Observation sequences per series, concatenated for Baum-Welch. The
+  // few artificial transitions at series boundaries are negligible next
+  // to the volume of genuine within-series transitions.
+  std::vector<std::size_t> observations;
+  for (const auto& series : corpus) {
+    const auto symbols =
+        symbolizer_.observation_sequence(series, config_.window_slots);
+    observations.insert(observations.end(), symbols.begin(), symbols.end());
+  }
+  hmm_ = std::make_unique<hmm::DiscreteHmm>(
+      config_.num_states, hmm::kNumFluctuationSymbols, rng_);
+  if (observations.size() >= 2) {
+    hmm_->baum_welch(observations, config_.baum_welch_iterations,
+                     config_.baum_welch_tolerance);
+  }
+  fitted_ = true;
+}
+
+const hmm::DiscreteHmm& HmmCorrector::model() const {
+  if (!hmm_) throw std::logic_error("HmmCorrector: not fitted");
+  return *hmm_;
+}
+
+std::optional<hmm::FluctuationSymbol> HmmCorrector::predict_symbol(
+    std::span<const double> recent) const {
+  if (!fitted_) throw std::logic_error("HmmCorrector: not fitted");
+  const auto observations =
+      symbolizer_.observation_sequence(recent, config_.window_slots);
+  // A single window gives the HMM no transition evidence; correcting on
+  // it would add more noise than it removes.
+  if (observations.size() < 2) return std::nullopt;
+  return static_cast<hmm::FluctuationSymbol>(
+      hmm_->predict_next_symbol(observations));
+}
+
+double HmmCorrector::correct(double raw_prediction,
+                             std::span<const double> recent) const {
+  const auto symbol = predict_symbol(recent);
+  if (!symbol.has_value()) return raw_prediction;
+  const double magnitude = magnitude_;
+  switch (*symbol) {
+    case hmm::FluctuationSymbol::kPeak:
+      return raw_prediction + magnitude;
+    case hmm::FluctuationSymbol::kValley:
+      return raw_prediction - magnitude;
+    case hmm::FluctuationSymbol::kCenter:
+      return raw_prediction;
+  }
+  return raw_prediction;
+}
+
+double HmmCorrector::correction_magnitude() const { return magnitude_; }
+
+}  // namespace corp::predict

@@ -1,0 +1,46 @@
+// Predictor interface for per-resource unused-amount forecasting.
+//
+// Every method in the paper — CORP's DNN+HMM stack and the three baselines
+// (RCCR's ETS, CloudScale's signature+Markov chain, DRA's run-time
+// estimator) — reduces to the same contract: given the recent history of a
+// scalar series (the temporarily-unused amount of one resource type on one
+// VM/job), forecast the value `horizon` slots ahead.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace corp::predict {
+
+/// A training corpus: multiple independent historical series (one per
+/// job/VM observed in the warm-up period).
+using SeriesCorpus = std::vector<std::vector<double>>;
+
+class SeriesPredictor {
+ public:
+  virtual ~SeriesPredictor() = default;
+
+  /// Fits model parameters on historical series. Called once before the
+  /// simulation run (the paper trains on historical Google-trace data).
+  virtual void train(const SeriesCorpus& corpus) = 0;
+
+  /// Forecasts the series value `horizon` steps after the end of
+  /// `history`. `history` is chronological; implementations must tolerate
+  /// short histories (fewer samples than their preferred lookback).
+  virtual double predict(std::span<const double> history,
+                         std::size_t horizon) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The provisioning methods compared in Sec. IV.
+enum class Method { kCorp, kRccr, kCloudScale, kDra };
+
+std::string_view method_name(Method m);
+
+inline constexpr Method kAllMethods[] = {Method::kCorp, Method::kRccr,
+                                         Method::kCloudScale, Method::kDra};
+
+}  // namespace corp::predict

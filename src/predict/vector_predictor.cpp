@@ -1,0 +1,60 @@
+#include "predict/vector_predictor.hpp"
+
+namespace corp::predict {
+
+void VectorCorpus::add_series(const std::vector<ResourceVector>& series) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    std::vector<double> scalar;
+    scalar.reserve(series.size());
+    for (const auto& v : series) scalar.push_back(v[r]);
+    per_type[r].push_back(std::move(scalar));
+  }
+}
+
+bool VectorCorpus::empty() const {
+  for (const auto& corpus : per_type) {
+    if (!corpus.empty()) return false;
+  }
+  return true;
+}
+
+VectorPredictor::VectorPredictor(Method method, const StackConfig& config,
+                                 util::Rng& rng, bool enable_hmm_correction,
+                                 bool enable_confidence_bound)
+    : method_(method) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    stacks_[r] = make_stack(method, config, rng, enable_hmm_correction,
+                            enable_confidence_bound);
+  }
+}
+
+void VectorPredictor::train(const VectorCorpus& corpus) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    stacks_[r]->train(corpus.per_type[r]);
+  }
+}
+
+ResourceVector VectorPredictor::predict(
+    const std::array<std::vector<double>, kNumResources>& history) {
+  ResourceVector out;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    out[r] = stacks_[r]->predict(history[r]);
+  }
+  return out;
+}
+
+void VectorPredictor::record_outcome(const ResourceVector& actual,
+                                     const ResourceVector& predicted) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    stacks_[r]->record_outcome(actual[r], predicted[r]);
+  }
+}
+
+bool VectorPredictor::unlocked() const {
+  for (const auto& stack : stacks_) {
+    if (!stack->unlocked()) return false;
+  }
+  return true;
+}
+
+}  // namespace corp::predict

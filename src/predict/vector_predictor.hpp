@@ -1,0 +1,61 @@
+// Multi-resource predictor: one PredictionStack per resource type,
+// operating on ResourceVector series. This is the object the schedulers
+// hold — "CORP periodically predicts the allocated and unused resources in
+// each VM" (Sec. III-B) — shared across VMs (the model is global; the
+// per-VM state is just the history series the caller supplies).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "predict/stacks.hpp"
+#include "trace/resources.hpp"
+
+namespace corp::predict {
+
+using trace::kNumResources;
+using trace::ResourceVector;
+
+/// Per-resource-type training corpora.
+struct VectorCorpus {
+  std::array<SeriesCorpus, kNumResources> per_type;
+
+  /// Appends one multi-resource series, splitting it per type.
+  void add_series(const std::vector<ResourceVector>& series);
+
+  bool empty() const;
+};
+
+class VectorPredictor {
+ public:
+  VectorPredictor(Method method, const StackConfig& config, util::Rng& rng,
+                  bool enable_hmm_correction = true,
+                  bool enable_confidence_bound = true);
+
+  Method method() const { return method_; }
+
+  void train(const VectorCorpus& corpus);
+
+  /// Forecasts the unused vector at t + L from per-type histories.
+  ResourceVector predict(
+      const std::array<std::vector<double>, kNumResources>& history);
+
+  /// Records actual-vs-predicted per type (Eq. 20 feedback).
+  void record_outcome(const ResourceVector& actual,
+                      const ResourceVector& predicted);
+
+  /// Eq. 21: the prediction is reallocatable only when every resource
+  /// type's gate opens (a packed job needs all types simultaneously).
+  bool unlocked() const;
+
+  PredictionStack& stack(std::size_t type) { return *stacks_[type]; }
+  const PredictionStack& stack(std::size_t type) const {
+    return *stacks_[type];
+  }
+
+ private:
+  Method method_;
+  std::array<std::unique_ptr<PredictionStack>, kNumResources> stacks_;
+};
+
+}  // namespace corp::predict

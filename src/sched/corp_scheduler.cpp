@@ -1,0 +1,68 @@
+#include "sched/corp_scheduler.hpp"
+
+#include "sched/volume.hpp"
+
+namespace corp::sched {
+
+CorpScheduler::CorpScheduler(CorpSchedulerConfig config) : config_(config) {}
+
+std::vector<PlacementDecision> CorpScheduler::place(
+    const std::vector<const Job*>& batch, const SchedulerContext& ctx) {
+  std::vector<PlacementDecision> decisions;
+  if (batch.empty()) return decisions;
+
+  const std::vector<JobEntity> entities =
+      config_.enable_packing ? pack_jobs(batch) : singleton_entities(batch);
+
+  // Tentative availability copies: placements within the batch consume
+  // from these so the batch cannot oversubscribe a snapshot.
+  std::vector<VmAvailability> opportunistic;
+  std::vector<VmAvailability> fresh;
+  opportunistic.reserve(ctx.vms.size());
+  fresh.reserve(ctx.vms.size());
+  for (const VmView& vm : ctx.vms) {
+    if (vm.unlocked) {
+      opportunistic.push_back(
+          {vm.vm_id, vm.predicted_unused * config_.pool_safety});
+    }
+    fresh.push_back({vm.vm_id, vm.unallocated});
+  }
+
+  for (const JobEntity& entity : entities) {
+    PlacementDecision decision;
+    decision.batch_indices = entity.members;
+    decision.allocated = entity.demand;
+
+    if (config_.enable_opportunistic) {
+      const ResourceVector carve =
+          entity.demand * config_.opportunistic_sizing;
+      const auto slot =
+          most_matched(opportunistic, carve, ctx.max_vm_capacity);
+      if (slot.has_value()) {
+        VmAvailability& vm = opportunistic[*slot];
+        decision.vm_id = vm.vm_id;
+        decision.kind = AllocationKind::kOpportunistic;
+        decision.allocated = carve;
+        decision.request_fraction = config_.opportunistic_sizing;
+        vm.available -= carve;
+        vm.available = vm.available.clamped_non_negative();
+        decisions.push_back(std::move(decision));
+        continue;
+      }
+    }
+
+    const auto slot = most_matched(fresh, entity.demand, ctx.max_vm_capacity);
+    if (slot.has_value()) {
+      VmAvailability& vm = fresh[*slot];
+      decision.vm_id = vm.vm_id;
+      decision.kind = AllocationKind::kReserved;
+      vm.available -= entity.demand;
+      vm.available = vm.available.clamped_non_negative();
+      decisions.push_back(std::move(decision));
+    }
+    // else: unplaced; the simulator re-queues the entity's jobs.
+  }
+  return decisions;
+}
+
+}  // namespace corp::sched

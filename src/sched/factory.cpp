@@ -1,0 +1,23 @@
+#include "sched/baseline_schedulers.hpp"
+#include "sched/corp_scheduler.hpp"
+#include "sched/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace corp::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(Method method, util::Rng& /*rng*/) {
+  switch (method) {
+    case Method::kCorp:
+      return std::make_unique<CorpScheduler>();
+    case Method::kRccr:
+      return std::make_unique<RccrScheduler>();
+    case Method::kCloudScale:
+      return std::make_unique<CloudScaleScheduler>();
+    case Method::kDra:
+      return std::make_unique<DraScheduler>();
+  }
+  throw std::invalid_argument("make_scheduler: unknown method");
+}
+
+}  // namespace corp::sched

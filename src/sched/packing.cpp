@@ -1,0 +1,64 @@
+#include "sched/packing.hpp"
+
+namespace corp::sched {
+
+double demand_deviation(const ResourceVector& a, const ResourceVector& b) {
+  double dv = 0.0;
+  for (std::size_t k = 0; k < trace::kNumResources; ++k) {
+    const double mu = 0.5 * (a[k] + b[k]);
+    const double da = a[k] - mu;
+    const double db = b[k] - mu;
+    dv += da * da + db * db;
+  }
+  return dv;
+}
+
+std::vector<JobEntity> pack_jobs(const std::vector<const Job*>& batch) {
+  std::vector<JobEntity> entities;
+  std::vector<bool> used(batch.size(), false);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    const Job& ji = *batch[i];
+    const trace::ResourceKind dom_i = ji.dominant_resource();
+
+    double best_dv = -1.0;
+    std::size_t best_j = batch.size();
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      if (used[j]) continue;
+      const Job& jj = *batch[j];
+      if (jj.dominant_resource() == dom_i) continue;
+      const double dv = demand_deviation(ji.request, jj.request);
+      if (dv > best_dv) {
+        best_dv = dv;
+        best_j = j;
+      }
+    }
+
+    JobEntity entity;
+    entity.members.push_back(i);
+    entity.demand = ji.request;
+    if (best_j < batch.size()) {
+      used[best_j] = true;
+      entity.members.push_back(best_j);
+      entity.demand += batch[best_j]->request;
+    }
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+std::vector<JobEntity> singleton_entities(
+    const std::vector<const Job*>& batch) {
+  std::vector<JobEntity> entities;
+  entities.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JobEntity entity;
+    entity.members.push_back(i);
+    entity.demand = batch[i]->request;
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+}  // namespace corp::sched

@@ -1,0 +1,46 @@
+// Complementary job packing (Sec. III-B).
+//
+// Each job has a dominant resource (largest requested amount). CORP pairs
+// jobs with *different* dominant resources, choosing for each job the
+// partner maximizing the demand deviation
+//   DV(j, i) = sum_k [ (d_jk - mu_k)^2 + (d_ik - mu_k)^2 ],
+//   mu_k = (d_jk + d_ik) / 2,
+// i.e. the most complementary partner (CPU-high/MEM-low with CPU-low/
+// MEM-high). Unpairable jobs become singleton entities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/job.hpp"
+
+namespace corp::sched {
+
+using trace::Job;
+using trace::ResourceVector;
+
+/// A packed allocation unit: one or two complementary jobs.
+struct JobEntity {
+  /// Indices into the batch passed to pack_jobs (1 or 2 entries).
+  std::vector<std::size_t> members;
+  /// Component-wise sum of member requests — the amount the entity needs
+  /// from its host VM.
+  ResourceVector demand;
+
+  bool packed() const { return members.size() == 2; }
+};
+
+/// Eq. in Sec. III-B: resource-demand deviation between two jobs.
+double demand_deviation(const ResourceVector& a, const ResourceVector& b);
+
+/// Packs a batch of jobs into entities. Greedy, in batch order: each
+/// unpaired job takes the highest-deviation partner among later unpaired
+/// jobs with a different dominant resource. O(n^2) over the batch, as in
+/// the paper.
+std::vector<JobEntity> pack_jobs(const std::vector<const Job*>& batch);
+
+/// Convenience: every job as a singleton entity (the no-packing baselines
+/// and the packing ablation).
+std::vector<JobEntity> singleton_entities(const std::vector<const Job*>& batch);
+
+}  // namespace corp::sched

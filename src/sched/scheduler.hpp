@@ -1,0 +1,108 @@
+// Scheduler interface: how each provisioning method places newly arriving
+// jobs and (re)sizes their allocations.
+//
+// The simulator drives schedulers through two hooks:
+//   place()       — batch placement of the jobs arriving in a slot;
+//   reprovision() — per-window allocation resizing for demand-based
+//                   methods (CloudScale, DRA); identity for CORP/RCCR,
+//                   whose reservations stay at the declared request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "predict/predictor.hpp"
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+
+namespace corp::sched {
+
+using predict::Method;
+using trace::Job;
+using trace::kNumResources;
+using trace::ResourceVector;
+
+/// How an entity's resources are sourced.
+enum class AllocationKind : std::uint8_t {
+  /// Fresh reservation committed on the VM (counts toward Eq. 1-4
+  /// denominators).
+  kReserved = 0,
+  /// Rides on other jobs' temporarily-unused allocated resource; commits
+  /// nothing (the opportunistic mode of CORP and RCCR).
+  kOpportunistic = 1,
+};
+
+/// Per-VM availability snapshot handed to place().
+struct VmView {
+  std::uint32_t vm_id = 0;
+  /// Predicted temporarily-unused resource, aggregated over the VM's
+  /// reserved jobs (zero when the method does not predict).
+  ResourceVector predicted_unused;
+  /// Eq. 21 gate: is the predicted unused resource reallocatable?
+  bool unlocked = false;
+  /// capacity - committed.
+  ResourceVector unallocated;
+};
+
+struct SchedulerContext {
+  std::span<const VmView> vms;
+  /// Component-wise maximum VM capacity (Eq. 22 normalizer).
+  ResourceVector max_vm_capacity;
+  util::Rng* rng = nullptr;
+};
+
+/// One placement produced by place().
+struct PlacementDecision {
+  /// Indices into the arrival batch (1 or 2 jobs when packed).
+  std::vector<std::size_t> batch_indices;
+  std::uint32_t vm_id = 0;
+  AllocationKind kind = AllocationKind::kReserved;
+  /// Total resources set aside for the entity. For kReserved this is
+  /// committed on the VM; for kOpportunistic it is the planned carve-out
+  /// of predicted unused resource.
+  ResourceVector allocated;
+  /// Per-member allocation as a fraction of each member's request.
+  /// Opportunistic placements are sized to expected demand plus headroom
+  /// rather than the full reservation (Sec. III-B allocates "based on
+  /// their resource demands").
+  double request_fraction = 1.0;
+};
+
+/// Per-job demand history (one scalar series per resource type), used by
+/// reprovision().
+using DemandHistory = std::array<std::vector<double>, kNumResources>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Method method() const = 0;
+
+  /// Trains any internal demand predictors on historical *utilization
+  /// fraction* series (demand / request in [0, 1]). Default: no-op.
+  virtual void train(const predict::SeriesCorpus& utilization_corpus);
+
+  /// Places the batch. Jobs absent from every decision could not be
+  /// placed this slot (the simulator re-queues them). Implementations
+  /// must not oversubscribe a VM within the batch: the views are
+  /// snapshots, so schedulers track their own tentative consumption.
+  virtual std::vector<PlacementDecision> place(
+      const std::vector<const Job*>& batch, const SchedulerContext& ctx) = 0;
+
+  /// Re-sizes a reserved job's allocation at a window boundary given its
+  /// observed demand history. Returns the new target allocation (the
+  /// simulator applies the commit/release delta, subject to VM capacity).
+  /// Default: keep the current allocation.
+  virtual ResourceVector reprovision(const Job& job,
+                                     const DemandHistory& history,
+                                     const ResourceVector& current);
+};
+
+/// Factory with paper-default settings for each method.
+std::unique_ptr<Scheduler> make_scheduler(Method method, util::Rng& rng);
+
+}  // namespace corp::sched

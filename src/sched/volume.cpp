@@ -1,0 +1,50 @@
+#include "sched/volume.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace corp::sched {
+
+double unused_volume(const ResourceVector& available,
+                     const ResourceVector& max_capacity) {
+  double volume = 0.0;
+  for (std::size_t k = 0; k < trace::kNumResources; ++k) {
+    const double cap = max_capacity[k];
+    if (cap > 0.0) volume += available[k] / cap;
+  }
+  return volume;
+}
+
+std::optional<std::size_t> most_matched(
+    std::span<const VmAvailability> candidates, const ResourceVector& demand,
+    const ResourceVector& max_capacity) {
+  std::optional<std::size_t> best;
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!demand.fits_within(candidates[i].available)) continue;
+    const double volume =
+        unused_volume(candidates[i].available, max_capacity);
+    if (volume < best_volume) {
+      best_volume = volume;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> random_feasible(
+    std::span<const VmAvailability> candidates, const ResourceVector& demand,
+    double pick) {
+  std::vector<std::size_t> feasible;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (demand.fits_within(candidates[i].available)) feasible.push_back(i);
+  }
+  if (feasible.empty()) return std::nullopt;
+  const double clamped = std::clamp(pick, 0.0, 1.0 - 1e-12);
+  const auto idx = static_cast<std::size_t>(
+      clamped * static_cast<double>(feasible.size()));
+  return feasible[std::min(idx, feasible.size() - 1)];
+}
+
+}  // namespace corp::sched

@@ -1,0 +1,46 @@
+// Unused-resource volume and most-matched VM selection (Eq. 22).
+//
+//   volume_j = sum_k r_hat_{jk} / C'_k
+//
+// where C' is the component-wise maximum VM capacity in the cluster. Among
+// the VMs whose available vector satisfies the entity's demand, the one
+// with the SMALLEST volume is the "most matched" — it leaves the least
+// stranded capacity behind.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "trace/resources.hpp"
+
+namespace corp::sched {
+
+using trace::ResourceVector;
+
+/// One candidate VM's availability snapshot.
+struct VmAvailability {
+  std::uint32_t vm_id = 0;
+  ResourceVector available;
+};
+
+/// Eq. 22. `max_capacity` must be strictly positive in every component.
+double unused_volume(const ResourceVector& available,
+                     const ResourceVector& max_capacity);
+
+/// Index (into `candidates`) of the feasible VM with the smallest volume,
+/// or nullopt when no candidate satisfies `demand`. Ties resolve to the
+/// first candidate.
+std::optional<std::size_t> most_matched(
+    std::span<const VmAvailability> candidates, const ResourceVector& demand,
+    const ResourceVector& max_capacity);
+
+/// Index of a uniformly random feasible candidate (the RCCR / CloudScale /
+/// DRA placement rule: "randomly chose a VM that can satisfy the resource
+/// demands"), or nullopt when none fits. `pick` must be a uniform draw in
+/// [0, 1).
+std::optional<std::size_t> random_feasible(
+    std::span<const VmAvailability> candidates, const ResourceVector& demand,
+    double pick);
+
+}  // namespace corp::sched

@@ -1,0 +1,63 @@
+// Table II parameter settings, centralized. Every experiment harness and
+// example starts from these defaults and overrides only what its sweep
+// varies.
+#pragma once
+
+#include <cstddef>
+
+#include "predict/stacks.hpp"
+#include "trace/job.hpp"
+
+namespace corp::sim {
+
+struct Params {
+  // --- Table II ---
+  /// Number of servers N_p: 30-50 (50 on the cluster, 30 on EC2).
+  std::size_t num_servers_cluster = 50;
+  std::size_t num_servers_ec2 = 30;
+  /// Number of VMs N_v: 100-400 (cluster default 200 = 50 x 4).
+  std::size_t vms_per_pm = 4;
+  /// Number of jobs |J|: 50-300 with step 50.
+  std::size_t jobs_min = 50;
+  std::size_t jobs_max = 300;
+  std::size_t jobs_step = 50;
+  /// Resource types l = 3 (CPU, MEM, storage).
+  static constexpr std::size_t kResourceTypes = trace::kNumResources;
+  /// Probability threshold P_th = 0.95.
+  double probability_threshold = 0.95;
+  /// DNN: h = 4 layers, N_n = 50 units per layer.
+  std::size_t dnn_layers = 4;
+  std::size_t dnn_units = 50;
+  /// HMM: H = 3 states.
+  std::size_t hmm_states = 3;
+  /// Significance level theta: 5%-30%; confidence level eta: 50%-90%.
+  double significance_min = 0.05;
+  double significance_max = 0.30;
+  double confidence_min = 0.50;
+  double confidence_max = 0.90;
+
+  // --- derived / fixed by Sec. III-IV ---
+  /// Prediction window L = 1 minute = 6 slots of 10 s.
+  std::size_t window_slots = trace::kWindowSlots;
+  /// Per-job history slots Delta fed to the DNN.
+  std::size_t history_slots = 12;
+  /// Eq. 21 error tolerance epsilon, as a fraction of the training-corpus
+  /// mean unused amount (resolved per resource type at train time). Must
+  /// comfortably exceed the conservative bias the confidence bound
+  /// introduces, or the gate never opens.
+  double error_tolerance = 0.80;
+  /// Additive response-time slack in slots on top of duration * stretch
+  /// (absorbs the one-slot rounding a single deficit slot costs).
+  double slo_slack_slots = 1.0;
+  /// Resource weights omega = (0.4, 0.4, 0.2) of Eq. 2.
+  trace::ResourceWeights weights;
+  /// Convexity of the slowdown under resource pressure: a slot at
+  /// bottleneck satisfaction ratio rho advances rho^p slots of work
+  /// (p > 1 models thrashing under starvation).
+  double contention_penalty = 2.0;
+
+  /// Builds the default per-type prediction StackConfig.
+  predict::StackConfig stack_config() const;
+};
+
+}  // namespace corp::sim

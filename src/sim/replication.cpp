@@ -1,0 +1,60 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace corp::sim {
+
+namespace {
+
+MetricEstimate estimate(const std::vector<double>& samples,
+                        double confidence) {
+  MetricEstimate out;
+  if (samples.empty()) return out;
+  util::RunningStats stats;
+  for (double x : samples) stats.add(x);
+  out.mean = stats.mean();
+  out.min = stats.min();
+  out.max = stats.max();
+  if (samples.size() > 1) {
+    const double theta = 1.0 - confidence;
+    out.half_width = util::z_half_alpha(theta) * stats.stddev() /
+                     std::sqrt(static_cast<double>(samples.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
+                                     Method method, std::size_t num_jobs,
+                                     const ReplicationConfig& config,
+                                     double aggressiveness) {
+  if (config.replications == 0) {
+    throw std::invalid_argument("run_replicated_point: zero replications");
+  }
+  std::vector<double> util, slo, err, opp;
+  for (std::size_t r = 0; r < config.replications; ++r) {
+    ExperimentConfig replica = experiment;
+    replica.seed = experiment.seed + 1000 * (r + 1);
+    const PointResult point =
+        run_point(replica, method, num_jobs, aggressiveness);
+    util.push_back(point.sim.overall_utilization);
+    slo.push_back(point.sim.slo_violation_rate);
+    err.push_back(point.prediction.error_rate);
+    opp.push_back(
+        static_cast<double>(point.sim.opportunistic_placements));
+  }
+  ReplicatedPoint out;
+  out.replications = config.replications;
+  out.overall_utilization = estimate(util, config.confidence);
+  out.slo_violation_rate = estimate(slo, config.confidence);
+  out.prediction_error_rate = estimate(err, config.confidence);
+  out.opportunistic_placements = estimate(opp, config.confidence);
+  return out;
+}
+
+}  // namespace corp::sim

@@ -1,0 +1,46 @@
+// Multi-seed replication: the paper reports single curves, but a credible
+// reproduction quantifies run-to-run spread. ReplicatedPoint repeats a
+// (method, workload) point across independent seeds and reports mean and
+// a normal-approximation confidence half-width for each headline metric.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/experiment.hpp"
+
+namespace corp::sim {
+
+/// Mean and symmetric confidence half-width of one metric across seeds.
+struct MetricEstimate {
+  double mean = 0.0;
+  double half_width = 0.0;  // z * sd / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+struct ReplicatedPoint {
+  std::size_t replications = 0;
+  MetricEstimate overall_utilization;
+  MetricEstimate slo_violation_rate;
+  MetricEstimate prediction_error_rate;
+  MetricEstimate opportunistic_placements;
+};
+
+struct ReplicationConfig {
+  std::size_t replications = 5;
+  /// Confidence level of the half-width (two-sided, normal approx).
+  double confidence = 0.95;
+};
+
+/// Runs `config.replications` independent repetitions of a point — each
+/// with a distinct experiment seed, hence distinct training and
+/// evaluation traces — and aggregates the headline metrics.
+ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
+                                     Method method, std::size_t num_jobs,
+                                     const ReplicationConfig& config = {},
+                                     double aggressiveness = 0.35);
+
+}  // namespace corp::sim

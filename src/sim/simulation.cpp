@@ -1,0 +1,579 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <cstdlib>
+#include <iostream>
+
+#include "sched/baseline_schedulers.hpp"
+#include "sched/corp_scheduler.hpp"
+
+namespace corp::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using trace::Job;
+using trace::kNumResources;
+using trace::ResourceVector;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Bottleneck satisfaction ratio: min over resource types with non-trivial
+/// demand of received/desired, in [0, 1].
+double bottleneck_ratio(const ResourceVector& received,
+                        const ResourceVector& desired) {
+  constexpr double kEps = 1e-9;
+  double ratio = 1.0;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    if (desired[r] > kEps) {
+      ratio = std::min(ratio, received[r] / desired[r]);
+    }
+  }
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+/// Mean of the last `n` entries of a series (whole series if shorter).
+double tail_mean(const std::vector<double>& series, std::size_t n) {
+  if (series.empty()) return 0.0;
+  const std::size_t take = std::min(n, series.size());
+  double sum = 0.0;
+  for (std::size_t i = series.size() - take; i < series.size(); ++i) {
+    sum += series[i];
+  }
+  return sum / static_cast<double>(take);
+}
+
+}  // namespace
+
+namespace {
+
+/// Training series length after concatenation. Individual short-lived
+/// jobs are seconds long; a VM, however, observes a *continuous* unused-
+/// resource signal as successive short jobs run on it. Concatenating the
+/// trace's per-job series in submit order and segmenting reproduces that
+/// signal and gives the windowed predictors enough samples to train on.
+constexpr std::size_t kTrainingSegmentSlots = 150;
+
+std::vector<std::vector<double>> segment(const std::vector<double>& series) {
+  std::vector<std::vector<double>> out;
+  for (std::size_t start = 0; start + kTrainingSegmentSlots <= series.size();
+       start += kTrainingSegmentSlots) {
+    out.emplace_back(series.begin() + start,
+                     series.begin() + start + kTrainingSegmentSlots);
+  }
+  if (out.empty() && !series.empty()) out.push_back(series);
+  return out;
+}
+
+}  // namespace
+
+predict::VectorCorpus build_unused_corpus(const trace::Trace& trace) {
+  // Concatenate per-type unused series across jobs in submit order. The
+  // series are *request-normalized* (unused / request, in [0, 1]): jobs'
+  // absolute requests span orders of magnitude, and predicting raw
+  // amounts across job boundaries would drown the signal in cross-job
+  // scale variance. Callers de-normalize with the job's request.
+  std::array<std::vector<double>, kNumResources> concatenated;
+  for (const Job& job : trace.jobs()) {
+    for (std::size_t t = 0; t < job.usage.size(); ++t) {
+      const ResourceVector unused = job.unused_at(t);
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        if (job.request[r] > 0.0) {
+          concatenated[r].push_back(unused[r] / job.request[r]);
+        }
+      }
+    }
+  }
+  predict::VectorCorpus corpus;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    corpus.per_type[r] = segment(concatenated[r]);
+  }
+  return corpus;
+}
+
+predict::SeriesCorpus build_utilization_corpus(const trace::Trace& trace) {
+  std::vector<double> concatenated;
+  for (const Job& job : trace.jobs()) {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      if (job.request[r] <= 0.0) continue;
+      for (const auto& u : job.usage) {
+        concatenated.push_back(u[r] / job.request[r]);
+      }
+    }
+  }
+  return segment(concatenated);
+}
+
+trace::GeneratorConfig scaled_generator_config(
+    const cluster::EnvironmentConfig& env, std::size_t num_jobs,
+    std::int64_t horizon_slots) {
+  trace::GeneratorConfig config;
+  config.num_jobs = num_jobs;
+  config.horizon_slots = horizon_slots;
+  // Jobs sized so a VM hosts ~8-12 of them: enough reserved tenants per VM
+  // that their pooled temporarily-unused resource can carry an extra
+  // opportunistic job, as in the paper's Fig. 5 example.
+  const ResourceVector vm = env.vm_capacity();
+  config.cpu_request_high = 0.11 * vm.cpu();
+  config.cpu_request_low = 0.03 * vm.cpu();
+  config.mem_request_high = 0.11 * vm.memory();
+  config.mem_request_low = 0.03 * vm.memory();
+  config.storage_request_high = 0.09 * vm.storage();
+  config.storage_request_low = 0.02 * vm.storage();
+  // Median duration ~7 slots (70 s) with the 5-minute short-job cap.
+  config.duration_log_mu = 2.0;
+  config.request_cap = vm * 0.9;
+  // Short-lived queries are latency-sensitive: the response-time SLO sits
+  // tight above the nominal execution time (Sec. IV derives it from the
+  // trace execution time).
+  config.slo_stretch = 1.10;
+  return config;
+}
+
+Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
+  util::Rng rng(config_.seed);
+  const predict::StackConfig stack =
+      config_.stack.value_or(config_.params.stack_config());
+  predictor_ = std::make_unique<predict::VectorPredictor>(
+      config_.method, stack, rng, config_.enable_hmm_correction,
+      config_.enable_confidence_bound);
+  switch (config_.method) {
+    case Method::kCorp:
+      scheduler_ = std::make_unique<sched::CorpScheduler>(
+          config_.corp_scheduler.value_or(sched::CorpSchedulerConfig{}));
+      break;
+    case Method::kRccr:
+      scheduler_ = std::make_unique<sched::RccrScheduler>();
+      break;
+    case Method::kCloudScale:
+      scheduler_ = std::make_unique<sched::CloudScaleScheduler>(
+          config_.cloudscale_scheduler.value_or(
+              sched::CloudScaleSchedulerConfig{}));
+      break;
+    case Method::kDra:
+      scheduler_ = std::make_unique<sched::DraScheduler>(
+          config_.dra_scheduler.value_or(sched::DraSchedulerConfig{}));
+      break;
+  }
+}
+
+void Simulation::train(const trace::Trace& history) {
+  predictor_->train(build_unused_corpus(history));
+  scheduler_->train(build_utilization_corpus(history));
+  trained_ = true;
+}
+
+SimulationResult Simulation::run(const trace::Trace& trace) {
+  if (!trained_) {
+    throw std::logic_error("Simulation::run before train()");
+  }
+  const Params& params = config_.params;
+  const std::size_t L = params.window_slots;
+  const bool opportunistic_method =
+      config_.method == Method::kCorp || config_.method == Method::kRccr;
+
+  cluster::Cluster cluster(config_.environment);
+  cluster::SlotMetricsAccumulator metrics(params.weights);
+  cluster::SloTracker slo;
+  util::Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  SimulationResult result;
+  result.method = config_.method;
+
+  std::vector<RunningJob> running;
+  std::deque<const Job*> queue;
+  const auto& jobs = trace.jobs();
+  std::size_t next_arrival = 0;
+  const std::int64_t horizon = trace.horizon_slots();
+  const std::int64_t max_slot = horizon + config_.grace_slots;
+
+  double compute_ms = 0.0;
+  double comm_us = 0.0;
+
+  const ResourceVector max_vm_capacity = cluster.max_vm_capacity();
+
+  for (std::int64_t t = 0;; ++t) {
+    // --- 1. arrivals ------------------------------------------------
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].submit_slot <= t) {
+      queue.push_back(&jobs[next_arrival]);
+      ++next_arrival;
+    }
+
+    // --- 2. placement ------------------------------------------------
+    if (!queue.empty()) {
+      std::vector<const Job*> batch(queue.begin(), queue.end());
+
+      // VM views: unallocated from the ledger; predicted unused is the
+      // sum of the per-job cached forecasts over reserved tenants.
+      std::vector<sched::VmView> views(cluster.num_vms());
+      for (std::size_t v = 0; v < cluster.num_vms(); ++v) {
+        views[v].vm_id = cluster.vm(v).id();
+        views[v].unallocated = cluster.vm(v).unallocated();
+      }
+      if (opportunistic_method) {
+        const bool unlocked = predictor_->unlocked();
+        for (const RunningJob& rj : running) {
+          if (rj.kind == sched::AllocationKind::kReserved) {
+            if (rj.has_cached_prediction) {
+              views[rj.vm_id].predicted_unused += rj.cached_prediction;
+            }
+          } else {
+            // Tenants already riding this VM's unused pool consume it:
+            // without this subtraction the same pool would be pledged to
+            // new tenants every slot until the donors starve.
+            views[rj.vm_id].predicted_unused -= rj.allocated;
+          }
+        }
+        for (auto& view : views) {
+          view.predicted_unused = view.predicted_unused.clamped_non_negative();
+          // Predicted unused can never exceed what is committed.
+          view.predicted_unused = ResourceVector::min(
+              view.predicted_unused, cluster.vm(view.vm_id).committed());
+          view.unlocked = unlocked && view.predicted_unused.total() > 0.0;
+        }
+      }
+
+      if (std::getenv("CORP_DEBUG_VIEWS") && t % 10 == 0) {
+        double tot_pred = 0, max_pred_cpu = 0; int unlocked_vms = 0;
+        for (auto& v : views) {
+          tot_pred += v.predicted_unused.total();
+          max_pred_cpu = std::max(max_pred_cpu, v.predicted_unused.cpu());
+          if (v.unlocked) ++unlocked_vms;
+        }
+        std::cerr << "t=" << t << " queue=" << batch.size()
+                  << " running=" << running.size()
+                  << " unlockedVMs=" << unlocked_vms
+                  << " maxPredCpu=" << max_pred_cpu
+                  << " globalUnlocked=" << (opportunistic_method ? predictor_->unlocked() : false)
+                  << " gateP=[" << predictor_->stack(0).gate_probability()
+                  << "," << predictor_->stack(1).gate_probability()
+                  << "," << predictor_->stack(2).gate_probability() << "]"
+                  << " req0cpu=" << batch[0]->request.cpu() << "\n";
+      }
+      sched::SchedulerContext ctx;
+      ctx.vms = views;
+      ctx.max_vm_capacity = max_vm_capacity;
+      ctx.rng = &rng;
+
+      const auto start = Clock::now();
+      const auto decisions = scheduler_->place(batch, ctx);
+      compute_ms += elapsed_ms(start);
+      comm_us +=
+          config_.environment.comm_overhead_us *
+          static_cast<double>(decisions.size());
+
+      std::vector<bool> placed(batch.size(), false);
+      for (const auto& decision : decisions) {
+        auto& vm = cluster.vm(decision.vm_id);
+        if (decision.kind == sched::AllocationKind::kReserved) {
+          // The scheduler worked from a snapshot; clamp against the live
+          // ledger to absorb floating-point dust.
+          const ResourceVector amount =
+              ResourceVector::min(decision.allocated, vm.unallocated());
+          vm.commit(amount);
+          ++result.reserved_placements;
+        } else {
+          ++result.opportunistic_placements;
+        }
+        // Split the entity's allocation across members: each member is
+        // accounted its own share. For reserved single jobs the decision
+        // amount may be method-sized (CloudScale/DRA below request).
+        const bool single = decision.batch_indices.size() == 1;
+        for (std::size_t member : decision.batch_indices) {
+          placed[member] = true;
+          const Job& job = *batch[member];
+          RunningJob rj;
+          rj.job = &job;
+          rj.vm_id = decision.vm_id;
+          rj.kind = decision.kind;
+          rj.allocated = single ? decision.allocated
+                                : job.request * decision.request_fraction;
+          rj.submit_slot = job.submit_slot;
+          running.push_back(std::move(rj));
+        }
+      }
+      queue.clear();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!placed[i]) queue.push_back(batch[i]);
+      }
+    }
+
+    // --- 3. execution -------------------------------------------------
+    // Pass 1: reserved jobs receive min(demand, allocation); accumulate
+    // per-VM consumption.
+    std::unordered_map<std::uint32_t, ResourceVector> vm_consumed;
+    std::unordered_map<std::uint32_t, ResourceVector> vm_opp_want;
+    std::vector<ResourceVector> desired(running.size());
+    std::vector<ResourceVector> received(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      RunningJob& rj = running[i];
+      const auto idx = static_cast<std::size_t>(rj.progress);
+      desired[i] = rj.job->demand_at(idx);
+      if (rj.kind == sched::AllocationKind::kReserved) {
+        received[i] = ResourceVector::min(desired[i], rj.allocated);
+        vm_consumed[rj.vm_id] += received[i];
+      } else {
+        const ResourceVector want =
+            ResourceVector::min(desired[i], rj.allocated);
+        vm_opp_want[rj.vm_id] += want;
+      }
+    }
+    // Pass 2: opportunistic jobs share each VM's *allocated-but-unused*
+    // resource (committed minus what the reserved tenants actually
+    // consume) proportionally per resource type. Uncommitted capacity is
+    // NOT donated — it is held for future reservations — so when donor
+    // jobs peak, opportunistic tenants starve; this is exactly the risk
+    // the prediction stack and the Eq. 21 gate exist to manage.
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      RunningJob& rj = running[i];
+      if (rj.kind != sched::AllocationKind::kOpportunistic) continue;
+      const auto& vm = cluster.vm(rj.vm_id);
+      const ResourceVector leftover =
+          (vm.committed() - vm_consumed[rj.vm_id]).clamped_non_negative();
+      const ResourceVector& want_total = vm_opp_want[rj.vm_id];
+      const ResourceVector want =
+          ResourceVector::min(desired[i], rj.allocated);
+      ResourceVector grant;
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        const double scale =
+            want_total[r] > 1e-12
+                ? std::min(1.0, leftover[r] / want_total[r])
+                : 1.0;
+        grant[r] = want[r] * scale;
+      }
+      received[i] = grant;
+    }
+
+    // Progress, histories, metrics samples.
+    std::vector<cluster::AllocationSample> samples;
+    samples.reserve(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      RunningJob& rj = running[i];
+      // Resource pressure slows execution convexly (thrashing): a slot at
+      // satisfaction ratio rho advances rho^p slots of work.
+      const double ratio = bottleneck_ratio(received[i], desired[i]);
+      rj.progress += std::pow(ratio, params.contention_penalty);
+      if (rj.kind == sched::AllocationKind::kOpportunistic) {
+        if (ratio < 0.05) {
+          ++rj.starved_slots;
+        } else {
+          rj.starved_slots = 0;
+        }
+      }
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        rj.demand_history[r].push_back(desired[i][r]);
+        // Unused history is request-normalized, matching the corpus the
+        // prediction stacks were trained on.
+        const double request = rj.job->request[r];
+        rj.unused_history[r].push_back(
+            request > 0.0
+                ? std::max(0.0, rj.allocated[r] - received[i][r]) / request
+                : 0.0);
+      }
+      cluster::AllocationSample sample;
+      // Eq. 1's numerator is the job's demand d_{ij,t} — what it needs,
+      // not what contention granted it; a squeezed job must not read as
+      // perfectly utilized.
+      sample.demand = desired[i];
+      sample.allocated = rj.kind == sched::AllocationKind::kReserved
+                             ? rj.allocated
+                             : ResourceVector::zero();
+      samples.push_back(sample);
+    }
+    metrics.observe_slot(samples);
+
+    const std::size_t violations_before = slo.violations();
+    const std::size_t completed_before = slo.completed();
+
+    // --- 4. completions and opportunistic preemption ----------------------
+    // An opportunistic tenant whose donors departed has no pool left;
+    // after a few starved slots its lease is preempted and the task is
+    // resubmitted from scratch (opportunistic resources carry no
+    // availability guarantee — Marshall et al.'s preemptible leases).
+    for (std::size_t i = 0; i < running.size();) {
+      RunningJob& rj = running[i];
+      if (rj.kind == sched::AllocationKind::kOpportunistic &&
+          rj.starved_slots >= 3) {
+        // Lease promotion first: if the VM has unallocated capacity the
+        // provider simply commits it and the tenant continues as a
+        // reserved job; only when the VM is genuinely full is the lease
+        // preempted and the task resubmitted from scratch.
+        auto& vm = cluster.vm(rj.vm_id);
+        if (vm.can_commit(rj.allocated)) {
+          vm.commit(rj.allocated);
+          rj.kind = sched::AllocationKind::kReserved;
+          rj.starved_slots = 0;
+          ++result.lease_promotions;
+          ++i;
+          continue;
+        }
+        ++result.lease_preemptions;
+        queue.push_back(rj.job);
+        running[i] = std::move(running.back());
+        running.pop_back();
+        continue;
+      }
+      if (rj.progress + 1e-9 >=
+          static_cast<double>(rj.job->duration_slots)) {
+        const auto response =
+            static_cast<std::size_t>(t - rj.submit_slot + 1);
+        slo.record(rj.job->id, rj.job->duration_slots, response,
+                   static_cast<double>(rj.job->duration_slots) *
+                           rj.job->slo_stretch +
+                       params.slo_slack_slots);
+        if (rj.kind == sched::AllocationKind::kReserved) {
+          cluster.vm(rj.vm_id).release(rj.allocated);
+        }
+        running[i] = std::move(running.back());
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // --- 5. predictions and re-provisioning -------------------------------
+    // Short-lived jobs often finish before a full window elapses, so the
+    // opportunistic methods refresh every running job's unused forecast
+    // each slot (the paper's per-window forecast, rolled forward), while
+    // Eq. 20 outcome feedback resolves one window after each pledge.
+    if (!running.empty()) {
+      const auto start = Clock::now();
+      if (opportunistic_method) {
+        for (RunningJob& rj : running) {
+          // Only reserved tenants donate unused resource, and only their
+          // series match the training distribution (a squeezed
+          // opportunistic tenant's allocation-minus-received is an
+          // artifact of contention, not reusable capacity).
+          if (rj.kind != sched::AllocationKind::kReserved) continue;
+          if (rj.pending_prediction.has_value() &&
+              rj.slots_since_prediction >= L) {
+            ResourceVector actual;
+            for (std::size_t r = 0; r < kNumResources; ++r) {
+              actual[r] = tail_mean(rj.unused_history[r], L);
+            }
+            predictor_->record_outcome(actual, *rj.pending_prediction);
+            rj.pending_prediction.reset();
+          }
+          const ResourceVector fraction =
+              predictor_->predict(rj.unused_history);
+          for (std::size_t r = 0; r < kNumResources; ++r) {
+            rj.cached_prediction[r] =
+                std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];
+          }
+          rj.has_cached_prediction = true;
+          // Pledge a forecast into the Eq. 20/21 error accounting only
+          // once the job has a full window of real history behind it;
+          // scoring cold-start guesses would poison the gate with errors
+          // no amount of prediction skill can remove.
+          if (!rj.pending_prediction.has_value()) {
+            if (rj.unused_history[0].size() >= L) {
+              rj.pending_prediction = fraction;
+              rj.slots_since_prediction = 0;
+            }
+          } else {
+            ++rj.slots_since_prediction;
+          }
+        }
+      } else if ((t + 1) % static_cast<std::int64_t>(L) == 0) {
+        // Demand-based methods re-size reservations once per window.
+        for (RunningJob& rj : running) {
+          if (rj.kind != sched::AllocationKind::kReserved) continue;
+          const ResourceVector target = scheduler_->reprovision(
+              *rj.job, rj.demand_history, rj.allocated);
+          auto& vm = cluster.vm(rj.vm_id);
+          const ResourceVector grow =
+              (target - rj.allocated).clamped_non_negative();
+          const ResourceVector shrink =
+              (rj.allocated - target).clamped_non_negative();
+          const ResourceVector granted_grow =
+              ResourceVector::min(grow, vm.unallocated());
+          vm.commit(granted_grow);
+          vm.release(shrink);
+          rj.allocated += granted_grow;
+          rj.allocated -= shrink;
+          rj.allocated = rj.allocated.clamped_non_negative();
+        }
+      }
+      compute_ms += elapsed_ms(start);
+    }
+
+    if (config_.record_timeline) {
+      TimelineSample sample;
+      sample.slot = t;
+      for (const RunningJob& rj : running) {
+        if (rj.kind == sched::AllocationKind::kReserved) {
+          ++sample.running_reserved;
+        } else {
+          ++sample.running_opportunistic;
+        }
+      }
+      sample.queued = queue.size();
+      sample.overall_utilization =
+          cluster::overall_utilization(samples, params.weights);
+      double committed = 0.0, capacity = 0.0;
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        committed += params.weights.w[r] * cluster.total_committed()[r];
+        capacity += params.weights.w[r] * cluster.total_capacity()[r];
+      }
+      sample.committed_fraction = capacity > 0.0 ? committed / capacity : 0.0;
+      sample.completions = slo.completed() - completed_before;
+      sample.violations = slo.violations() - violations_before;
+      result.timeline.add(sample);
+    }
+
+    // --- 6. termination ---------------------------------------------------
+    const bool drained =
+        queue.empty() && running.empty() && next_arrival == jobs.size();
+    if (drained || t >= max_slot) {
+      result.slots_simulated = t + 1;
+      if (!drained) {
+        // Force-complete stragglers as violations.
+        for (const RunningJob& rj : running) {
+          const auto response =
+              static_cast<std::size_t>(t - rj.submit_slot + 1);
+          slo.record(rj.job->id, rj.job->duration_slots, response,
+                     static_cast<double>(rj.job->duration_slots) *
+                             rj.job->slo_stretch +
+                         params.slo_slack_slots);
+          ++result.jobs_forced;
+        }
+        for (const Job* job : queue) {
+          const auto response =
+              static_cast<std::size_t>(t - job->submit_slot + 1);
+          slo.record(job->id, job->duration_slots, response,
+                     static_cast<double>(job->duration_slots) *
+                             job->slo_stretch +
+                         params.slo_slack_slots);
+          ++result.jobs_forced;
+        }
+      }
+      break;
+    }
+  }
+
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<trace::ResourceKind>(r);
+    result.mean_utilization[r] = metrics.mean_utilization(kind);
+    result.mean_wastage[r] = metrics.mean_wastage(kind);
+  }
+  result.overall_utilization = metrics.mean_overall_utilization();
+  result.overall_wastage = metrics.mean_overall_wastage();
+  result.slo_violation_rate = slo.violation_rate();
+  result.mean_stretch = slo.mean_stretch();
+  result.jobs_completed = slo.completed();
+  result.jobs_violated = slo.violations();
+  result.compute_latency_ms = compute_ms;
+  result.total_latency_ms = compute_ms + comm_us / 1000.0;
+  return result;
+}
+
+}  // namespace corp::sim

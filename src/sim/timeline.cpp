@@ -1,0 +1,55 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace corp::sim {
+
+std::int64_t Timeline::busiest_slot() const {
+  std::int64_t best_slot = 0;
+  std::size_t best = 0;
+  for (const auto& s : samples_) {
+    const std::size_t running =
+        s.running_reserved + s.running_opportunistic;
+    if (running > best) {
+      best = running;
+      best_slot = s.slot;
+    }
+  }
+  return best_slot;
+}
+
+std::size_t Timeline::peak_running() const {
+  std::size_t best = 0;
+  for (const auto& s : samples_) {
+    best = std::max(best, s.running_reserved + s.running_opportunistic);
+  }
+  return best;
+}
+
+std::size_t Timeline::peak_queue() const {
+  std::size_t best = 0;
+  for (const auto& s : samples_) best = std::max(best, s.queued);
+  return best;
+}
+
+void Timeline::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_row(std::vector<std::string>{
+      "slot", "running_reserved", "running_opportunistic", "queued",
+      "overall_utilization", "committed_fraction", "completions",
+      "violations"});
+  for (const auto& s : samples_) {
+    writer.write_row(std::vector<double>{
+        static_cast<double>(s.slot),
+        static_cast<double>(s.running_reserved),
+        static_cast<double>(s.running_opportunistic),
+        static_cast<double>(s.queued), s.overall_utilization,
+        s.committed_fraction, static_cast<double>(s.completions),
+        static_cast<double>(s.violations)});
+  }
+}
+
+}  // namespace corp::sim

@@ -1,0 +1,53 @@
+// Per-slot timeline of a simulation run: what the cluster looked like
+// while the workload played out. Off by default (it costs memory per
+// slot); examples and analysis tools switch it on via
+// SimulationConfig::record_timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/resources.hpp"
+
+namespace corp::sim {
+
+struct TimelineSample {
+  std::int64_t slot = 0;
+  std::size_t running_reserved = 0;
+  std::size_t running_opportunistic = 0;
+  std::size_t queued = 0;
+  /// Eq. 2 overall utilization of this slot (0 when nothing allocated).
+  double overall_utilization = 0.0;
+  /// Committed fraction of total cluster capacity (weighted).
+  double committed_fraction = 0.0;
+  /// Jobs completing in this slot.
+  std::size_t completions = 0;
+  /// SLO violations recorded in this slot.
+  std::size_t violations = 0;
+};
+
+class Timeline {
+ public:
+  void add(TimelineSample sample) { samples_.push_back(sample); }
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Slot with the most concurrent work (reserved + opportunistic).
+  std::int64_t busiest_slot() const;
+
+  /// Maximum concurrent running jobs over the run.
+  std::size_t peak_running() const;
+
+  /// Maximum queue depth over the run.
+  std::size_t peak_queue() const;
+
+  /// Writes one CSV row per slot (header included).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace corp::sim

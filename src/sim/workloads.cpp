@@ -1,0 +1,59 @@
+#include "sim/workloads.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace corp::sim {
+
+std::string_view workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kPaperSweep: return "paper-sweep";
+    case WorkloadKind::kBurst: return "burst";
+    case WorkloadKind::kTrickle: return "trickle";
+    case WorkloadKind::kHeavyTail: return "heavy-tail";
+    case WorkloadKind::kMixedServices: return "mixed-services";
+  }
+  return "?";
+}
+
+trace::GeneratorConfig workload_config(WorkloadKind kind,
+                                       const cluster::EnvironmentConfig& env,
+                                       std::size_t num_jobs) {
+  switch (kind) {
+    case WorkloadKind::kPaperSweep:
+      return scaled_generator_config(env, num_jobs, 20);
+    case WorkloadKind::kBurst: {
+      trace::GeneratorConfig config =
+          scaled_generator_config(env, num_jobs, 3);
+      config.duration_log_mu = 1.2;  // median ~3 slots
+      config.duration_log_sigma = 0.5;
+      config.tasks_log_mu = 1.8;  // big fan-out
+      return config;
+    }
+    case WorkloadKind::kTrickle: {
+      trace::GeneratorConfig config =
+          scaled_generator_config(env, num_jobs, 120);
+      config.tasks_log_mu = 0.5;  // mostly single tasks
+      return config;
+    }
+    case WorkloadKind::kHeavyTail: {
+      trace::GeneratorConfig config =
+          scaled_generator_config(env, num_jobs, 30);
+      config.duration_log_mu = 2.6;  // near the 5-minute cap
+      config.duration_log_sigma = 1.0;
+      config.tasks_log_sigma = 1.0;  // fan-out tail
+      config.request_jitter_sigma = 0.5;
+      return config;
+    }
+    case WorkloadKind::kMixedServices: {
+      trace::GeneratorConfig config =
+          scaled_generator_config(env, num_jobs, 30);
+      config.long_job_fraction = 0.2;
+      return config;
+    }
+  }
+  throw std::invalid_argument("workload_config: unknown kind");
+}
+
+}  // namespace corp::sim

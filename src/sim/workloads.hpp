@@ -1,0 +1,43 @@
+// Named workload scenarios. The figure benches all use the paper's sweep
+// workload; examples, extension benches and downstream users pick from
+// these archetypes instead of hand-tuning GeneratorConfig fields.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/environment.hpp"
+#include "trace/generator.hpp"
+
+namespace corp::sim {
+
+enum class WorkloadKind {
+  /// The paper's evaluation workload: short tasks, uniform arrivals.
+  kPaperSweep,
+  /// A query storm: everything lands within seconds (IoT / analytics).
+  kBurst,
+  /// Steady trickle: arrivals spread thin, low concurrency.
+  kTrickle,
+  /// Heavy-tailed: a few jobs with large fan-out and long durations near
+  /// the short-lived cap dominate the load.
+  kHeavyTail,
+  /// Mixed short-lived tasks + long-lived patterned services (Sec. VI).
+  kMixedServices,
+};
+
+std::string_view workload_name(WorkloadKind kind);
+
+/// All kinds, for parameterized tests and sweeps.
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::kPaperSweep, WorkloadKind::kBurst,
+    WorkloadKind::kTrickle, WorkloadKind::kHeavyTail,
+    WorkloadKind::kMixedServices,
+};
+
+/// Builds the generator configuration for a scenario, scaled to the
+/// environment's VM size (as scaled_generator_config does).
+trace::GeneratorConfig workload_config(WorkloadKind kind,
+                                       const cluster::EnvironmentConfig& env,
+                                       std::size_t num_jobs);
+
+}  // namespace corp::sim

@@ -1,0 +1,215 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corp::trace {
+
+namespace {
+
+/// Burst regime of the usage process. Matches the paper's observation that
+/// short-lived jobs "exhibit fluctuations in resource use": demand hovers
+/// around a base level and occasionally spikes to a peak or drops to a
+/// valley for a few slots.
+enum class Regime { kNormal, kPeak, kValley };
+
+}  // namespace
+
+GoogleTraceGenerator::GoogleTraceGenerator(GeneratorConfig config)
+    : config_(config) {
+  if (config_.num_jobs == 0) {
+    throw std::invalid_argument("GeneratorConfig: num_jobs must be > 0");
+  }
+  if (config_.horizon_slots <= 0) {
+    throw std::invalid_argument("GeneratorConfig: horizon_slots must be > 0");
+  }
+  if (config_.max_duration_slots == 0) {
+    throw std::invalid_argument(
+        "GeneratorConfig: max_duration_slots must be > 0");
+  }
+  if (config_.mean_utilization <= 0.0 || config_.mean_utilization > 1.0) {
+    throw std::invalid_argument(
+        "GeneratorConfig: mean_utilization must be in (0, 1]");
+  }
+}
+
+JobClass GoogleTraceGenerator::sample_class(util::Rng& rng) const {
+  const auto idx = rng.categorical(config_.class_mix);
+  return static_cast<JobClass>(idx);
+}
+
+std::size_t GoogleTraceGenerator::sample_duration(util::Rng& rng) const {
+  const double raw =
+      rng.lognormal(config_.duration_log_mu, config_.duration_log_sigma);
+  const auto slots = static_cast<std::size_t>(std::llround(std::ceil(raw)));
+  return std::clamp<std::size_t>(slots, 1, config_.max_duration_slots);
+}
+
+ResourceVector GoogleTraceGenerator::sample_request(JobClass c,
+                                                    util::Rng& rng) const {
+  auto jitter = [&] {
+    return std::exp(rng.normal(0.0, config_.request_jitter_sigma));
+  };
+  double cpu = config_.cpu_request_low;
+  double mem = config_.mem_request_low;
+  double sto = config_.storage_request_low;
+  switch (c) {
+    case JobClass::kCpuIntensive:
+      cpu = config_.cpu_request_high;
+      break;
+    case JobClass::kMemIntensive:
+      mem = config_.mem_request_high;
+      break;
+    case JobClass::kStorageIntensive:
+      sto = config_.storage_request_high;
+      break;
+    case JobClass::kBalanced:
+      cpu = 0.5 * (config_.cpu_request_low + config_.cpu_request_high);
+      mem = 0.5 * (config_.mem_request_low + config_.mem_request_high);
+      sto = 0.5 * (config_.storage_request_low + config_.storage_request_high);
+      break;
+  }
+  return ResourceVector::min(
+      ResourceVector(cpu * jitter(), mem * jitter(), sto * jitter()),
+      config_.request_cap);
+}
+
+std::vector<double> GoogleTraceGenerator::generate_utilization_series(
+    std::size_t length, util::Rng& rng) const {
+  std::vector<double> series;
+  series.reserve(length);
+  Regime regime = Regime::kNormal;
+  std::size_t regime_left = 0;
+  // OU displacement around the mean utilization.
+  double x = 0.0;
+  const double burst_exit_p =
+      config_.mean_burst_slots > 0.0 ? 1.0 / config_.mean_burst_slots : 1.0;
+  for (std::size_t t = 0; t < length; ++t) {
+    // Regime transitions.
+    if (regime == Regime::kNormal) {
+      const double u = rng.uniform(0.0, 1.0);
+      if (u < config_.peak_probability) {
+        regime = Regime::kPeak;
+        regime_left = 1 + static_cast<std::size_t>(
+                              rng.exponential(burst_exit_p) + 0.5);
+      } else if (u < config_.peak_probability + config_.valley_probability) {
+        regime = Regime::kValley;
+        regime_left = 1 + static_cast<std::size_t>(
+                              rng.exponential(burst_exit_p) + 0.5);
+      }
+    } else if (regime_left == 0) {
+      regime = Regime::kNormal;
+    } else {
+      --regime_left;
+    }
+
+    // OU step for the base level.
+    x += config_.ou_theta * (0.0 - x) + rng.normal(0.0, config_.ou_sigma);
+
+    double level = config_.mean_utilization + x;
+    if (regime == Regime::kPeak) {
+      level = config_.peak_level + rng.normal(0.0, 0.03);
+    } else if (regime == Regime::kValley) {
+      level = config_.valley_level + rng.normal(0.0, 0.03);
+    }
+    series.push_back(std::clamp(level, config_.min_utilization, 1.0));
+  }
+  return series;
+}
+
+Job GoogleTraceGenerator::generate_job(std::uint64_t id,
+                                       std::int64_t submit_slot,
+                                       util::Rng& rng) const {
+  Job job;
+  job.id = id;
+  job.submit_slot = submit_slot;
+  job.job_class = sample_class(rng);
+  job.duration_slots = sample_duration(rng);
+  job.request = sample_request(job.job_class, rng);
+  job.slo_stretch = config_.slo_stretch;
+
+  // Each resource type gets its own fluctuation path; storage demand is
+  // flatter (files do not oscillate as fast as CPU), so damp its series
+  // toward its mean.
+  std::array<std::vector<double>, kNumResources> util_series;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    util_series[r] = generate_utilization_series(job.duration_slots, rng);
+  }
+  constexpr double kStorageDamping = 0.6;
+  for (double& u : util_series[static_cast<std::size_t>(
+           ResourceKind::kStorage)]) {
+    u = config_.mean_utilization +
+        kStorageDamping * (u - config_.mean_utilization);
+  }
+
+  job.usage.resize(job.duration_slots);
+  for (std::size_t t = 0; t < job.duration_slots; ++t) {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      job.usage[t][r] = util_series[r][t] * job.request[r];
+    }
+  }
+  return job;
+}
+
+Job GoogleTraceGenerator::generate_long_job(std::uint64_t id,
+                                            std::int64_t submit_slot,
+                                            util::Rng& rng) const {
+  Job job;
+  job.id = id;
+  job.submit_slot = submit_slot;
+  job.job_class = sample_class(rng);
+  job.duration_slots = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config_.long_duration_min_slots),
+      static_cast<std::int64_t>(config_.long_duration_max_slots)));
+  job.request = sample_request(job.job_class, rng);
+  job.slo_stretch = config_.slo_stretch;
+
+  // Patterned utilization: a sinusoid (the diurnal-style regularity of
+  // long-running services) plus mild noise. This is precisely the kind
+  // of signal time-series forecasting handles well, which is why the
+  // paper scopes CORP to the pattern-free short-lived case and lets other
+  // methods cooperate on these jobs.
+  const double phase = rng.uniform(0.0, 2.0 * 3.14159265358979);
+  job.usage.resize(job.duration_slots);
+  for (std::size_t t = 0; t < job.duration_slots; ++t) {
+    const double pattern =
+        config_.mean_utilization +
+        config_.long_pattern_amplitude *
+            std::sin(2.0 * 3.14159265358979 *
+                         static_cast<double>(t) /
+                         config_.long_pattern_period +
+                     phase);
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      const double u = std::clamp(pattern + rng.normal(0.0, 0.02),
+                                  config_.min_utilization, 1.0);
+      job.usage[t][r] = u * job.request[r];
+    }
+  }
+  return job;
+}
+
+Trace GoogleTraceGenerator::generate(util::Rng& rng) const {
+  std::vector<Job> jobs;
+  std::uint64_t task_id = 0;
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) {
+    const std::int64_t submit =
+        rng.uniform_int(0, config_.horizon_slots - 1);
+    if (config_.long_job_fraction > 0.0 &&
+        rng.bernoulli(config_.long_job_fraction)) {
+      jobs.push_back(generate_long_job(task_id++, submit, rng));
+      continue;
+    }
+    const double raw_tasks =
+        rng.lognormal(config_.tasks_log_mu, config_.tasks_log_sigma);
+    const auto tasks = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(std::ceil(raw_tasks))), 1,
+        config_.max_tasks_per_job);
+    for (std::size_t k = 0; k < tasks; ++k) {
+      jobs.push_back(generate_job(task_id++, submit, rng));
+    }
+  }
+  return Trace(std::move(jobs));
+}
+
+}  // namespace corp::trace

@@ -1,0 +1,202 @@
+#include "trace/google_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace corp::trace {
+
+namespace {
+
+double field_or_zero(const std::vector<std::string>& row, std::size_t idx) {
+  if (idx >= row.size() || row[idx].empty()) return 0.0;
+  return std::stod(row[idx]);
+}
+
+std::uint64_t ufield(const std::vector<std::string>& row, std::size_t idx,
+                     std::size_t line) {
+  if (idx >= row.size() || row[idx].empty()) {
+    throw std::runtime_error("google trace: missing field " +
+                             std::to_string(idx) + " on line " +
+                             std::to_string(line));
+  }
+  return std::stoull(row[idx]);
+}
+
+}  // namespace
+
+std::vector<GoogleTaskEvent> read_task_events(std::istream& in) {
+  std::vector<GoogleTaskEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto row = util::split_csv_line(line);
+    if (row.size() < 6) {
+      throw std::runtime_error("task_events: too few columns on line " +
+                               std::to_string(line_no));
+    }
+    GoogleTaskEvent event;
+    event.timestamp_us = static_cast<std::int64_t>(ufield(row, 0, line_no));
+    event.job_id = ufield(row, 2, line_no);
+    event.task_index = static_cast<std::uint32_t>(ufield(row, 3, line_no));
+    event.event_type = static_cast<int>(ufield(row, 5, line_no));
+    event.cpu_request = field_or_zero(row, 9);
+    event.memory_request = field_or_zero(row, 10);
+    event.disk_request = field_or_zero(row, 11);
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::vector<GoogleTaskUsage> read_task_usage(std::istream& in) {
+  std::vector<GoogleTaskUsage> usage;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto row = util::split_csv_line(line);
+    if (row.size() < 6) {
+      throw std::runtime_error("task_usage: too few columns on line " +
+                               std::to_string(line_no));
+    }
+    GoogleTaskUsage record;
+    record.start_time_us =
+        static_cast<std::int64_t>(ufield(row, 0, line_no));
+    record.end_time_us = static_cast<std::int64_t>(ufield(row, 1, line_no));
+    record.job_id = ufield(row, 2, line_no);
+    record.task_index = static_cast<std::uint32_t>(ufield(row, 3, line_no));
+    record.mean_cpu = field_or_zero(row, 5);
+    record.canonical_memory = field_or_zero(row, 6);
+    record.mean_disk_space = field_or_zero(row, 12);
+    usage.push_back(record);
+  }
+  return usage;
+}
+
+Trace build_trace(const std::vector<GoogleTaskEvent>& events,
+                  const std::vector<GoogleTaskUsage>& usage,
+                  const GoogleFormatConfig& config, util::Rng& rng) {
+  using TaskKey = std::pair<std::uint64_t, std::uint32_t>;
+
+  // SUBMIT events carry the requests and the arrival timestamp.
+  std::map<TaskKey, const GoogleTaskEvent*> submits;
+  std::int64_t first_submit_us = 0;
+  bool any = false;
+  for (const auto& event : events) {
+    if (event.event_type != 0) continue;  // SUBMIT only
+    const TaskKey key{event.job_id, event.task_index};
+    if (submits.count(key) == 0) {
+      submits[key] = &event;
+      if (!any || event.timestamp_us < first_submit_us) {
+        first_submit_us = event.timestamp_us;
+        any = true;
+      }
+    }
+  }
+
+  // Usage records per task, ordered by window start.
+  std::map<TaskKey, std::vector<const GoogleTaskUsage*>> windows;
+  for (const auto& record : usage) {
+    windows[{record.job_id, record.task_index}].push_back(&record);
+  }
+  for (auto& [key, records] : windows) {
+    std::sort(records.begin(), records.end(),
+              [](const GoogleTaskUsage* a, const GoogleTaskUsage* b) {
+                return a->start_time_us < b->start_time_us;
+              });
+  }
+
+  const double slot_us = trace::kSlotSeconds * 1e6;
+  Trace trace;
+  std::uint64_t next_id = 0;
+  for (const auto& [key, submit] : submits) {
+    const auto found = windows.find(key);
+    if (found == windows.end() || found->second.empty()) continue;
+    const auto& records = found->second;
+
+    Job coarse;
+    coarse.id = next_id++;
+    coarse.submit_slot = static_cast<std::int64_t>(
+        static_cast<double>(submit->timestamp_us - first_submit_us) /
+        slot_us);
+    coarse.slo_stretch = config.slo_stretch;
+    coarse.request = ResourceVector(
+        submit->cpu_request * config.cpu_scale_cores,
+        submit->memory_request * config.mem_scale_gb,
+        submit->disk_request * config.storage_scale_gb);
+
+    // One coarse sample per usage window; gaps repeat the previous
+    // record (the trace omits windows with unchanged usage).
+    std::vector<ResourceVector> samples;
+    std::int64_t cursor = records.front()->start_time_us;
+    std::size_t idx = 0;
+    while (idx < records.size()) {
+      const GoogleTaskUsage* record = records[idx];
+      if (record->start_time_us > cursor && !samples.empty()) {
+        samples.push_back(samples.back());  // fill the gap
+        cursor += config.usage_window_us;
+        continue;
+      }
+      samples.push_back(ResourceVector(
+          record->mean_cpu * config.cpu_scale_cores,
+          record->canonical_memory * config.mem_scale_gb,
+          record->mean_disk_space * config.storage_scale_gb));
+      cursor = record->start_time_us + config.usage_window_us;
+      ++idx;
+    }
+
+    // Requests can be under-reported in the trace; grow them to cover
+    // observed usage so Job::valid() holds.
+    for (const auto& s : samples) {
+      coarse.request = ResourceVector::max(coarse.request, s);
+    }
+    coarse.usage = std::move(samples);
+    coarse.duration_slots = coarse.usage.size();
+
+    ResampleConfig resample = config.resample;
+    resample.slots_per_sample = static_cast<std::size_t>(
+        static_cast<double>(config.usage_window_us) / slot_us);
+    Job fine;
+    if (coarse.usage.size() > 1) {
+      fine = resample_job(coarse, resample, rng);
+    } else {
+      // A single 5-minute record still covers a full window of fine
+      // slots: replicate it (no interior anchors to interpolate).
+      fine = coarse;
+      fine.usage.assign(resample.slots_per_sample, coarse.usage.front());
+      fine.duration_slots = fine.usage.size();
+    }
+    if (config.max_duration_slots > 0 &&
+        fine.duration_slots > config.max_duration_slots) {
+      continue;  // long-lived: dropped, as in Sec. IV
+    }
+    trace.add(std::move(fine));
+  }
+  trace.sort();
+  return trace;
+}
+
+Trace load_google_trace(const std::string& task_events_path,
+                        const std::string& task_usage_path,
+                        const GoogleFormatConfig& config, util::Rng& rng) {
+  std::ifstream events_in(task_events_path);
+  if (!events_in) {
+    throw std::runtime_error("cannot open " + task_events_path);
+  }
+  std::ifstream usage_in(task_usage_path);
+  if (!usage_in) {
+    throw std::runtime_error("cannot open " + task_usage_path);
+  }
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  return build_trace(events, usage, config, rng);
+}
+
+}  // namespace corp::trace

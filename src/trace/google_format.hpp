@@ -1,0 +1,96 @@
+// Reader for the Google cluster-usage trace format (clusterdata-2011),
+// the dataset the paper evaluates on. Two of its tables matter here:
+//
+//   task_events:  timestamp, missing, job_id, task_index, machine_id,
+//                 event_type, user, scheduling_class, priority,
+//                 cpu_request, memory_request, disk_request, constraint
+//   task_usage:   start_time, end_time, job_id, task_index, machine_id,
+//                 mean_cpu, canonical_mem, assigned_mem, unmapped_cache,
+//                 page_cache, max_mem, mean_disk_io, mean_disk_space,
+//                 max_cpu, max_disk_io, cpi, mai, sample_portion,
+//                 aggregation_type, sampled_cpu
+//
+// Timestamps are microseconds; usage records cover 5-minute windows; CPU
+// and memory are normalized to the largest machine. This reader stitches
+// the SUBMIT (0) event's requests with the task's usage windows into the
+// corp::trace::Job model: coarse 5-minute usage resampled to 10-second
+// slots via trace/resampler, long tasks dropped, exactly the paper's
+// preprocessing. Only the columns above are interpreted; extra columns are
+// ignored, so both the raw trace and trimmed extracts load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/job.hpp"
+#include "trace/resampler.hpp"
+#include "util/rng.hpp"
+
+namespace corp::trace {
+
+struct GoogleFormatConfig {
+  /// Microseconds per coarse usage record (5 minutes in the trace).
+  std::int64_t usage_window_us = 300'000'000;
+  /// Storage capacity (GB) that a disk_request of 1.0 corresponds to.
+  double storage_scale_gb = 720.0;
+  /// CPU cores that a cpu_request of 1.0 corresponds to.
+  double cpu_scale_cores = 16.0;
+  /// Memory (GB) that a memory_request of 1.0 corresponds to.
+  double mem_scale_gb = 64.0;
+  /// Resampling of the coarse records into 10-second slots.
+  ResampleConfig resample;
+  /// Drop tasks longer than this many fine slots (the paper's removal of
+  /// long-lived jobs). 0 disables the filter.
+  std::size_t max_duration_slots = kShortJobMaxSlots;
+  /// SLO stretch assigned to loaded tasks (the trace has no SLOs).
+  double slo_stretch = 1.10;
+};
+
+/// One row of a task_events extract (SUBMIT events only are consumed).
+struct GoogleTaskEvent {
+  std::int64_t timestamp_us = 0;
+  std::uint64_t job_id = 0;
+  std::uint32_t task_index = 0;
+  int event_type = 0;  // 0 = SUBMIT
+  double cpu_request = 0.0;
+  double memory_request = 0.0;
+  double disk_request = 0.0;
+};
+
+/// One row of a task_usage extract.
+struct GoogleTaskUsage {
+  std::int64_t start_time_us = 0;
+  std::int64_t end_time_us = 0;
+  std::uint64_t job_id = 0;
+  std::uint32_t task_index = 0;
+  double mean_cpu = 0.0;
+  double canonical_memory = 0.0;
+  double mean_disk_space = 0.0;
+};
+
+/// Parses a task_events CSV stream (headerless, as shipped by Google).
+/// Malformed rows raise std::runtime_error with the line number.
+std::vector<GoogleTaskEvent> read_task_events(std::istream& in);
+
+/// Parses a task_usage CSV stream (headerless).
+std::vector<GoogleTaskUsage> read_task_usage(std::istream& in);
+
+/// Joins events and usage into a Trace:
+///  - each (job_id, task_index) with a SUBMIT event and >= 1 usage record
+///    becomes one Job;
+///  - requests scale by the config's machine constants;
+///  - usage windows are ordered, gaps filled with the previous record,
+///    then resampled 5 min -> 10 s;
+///  - tasks beyond max_duration_slots are dropped.
+/// `rng` drives the resampler's jitter.
+Trace build_trace(const std::vector<GoogleTaskEvent>& events,
+                  const std::vector<GoogleTaskUsage>& usage,
+                  const GoogleFormatConfig& config, util::Rng& rng);
+
+/// Convenience: loads both extracts from files and builds the trace.
+Trace load_google_trace(const std::string& task_events_path,
+                        const std::string& task_usage_path,
+                        const GoogleFormatConfig& config, util::Rng& rng);
+
+}  // namespace corp::trace

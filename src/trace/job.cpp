@@ -1,0 +1,99 @@
+#include "trace/job.hpp"
+
+#include <algorithm>
+
+namespace corp::trace {
+
+std::string_view job_class_name(JobClass c) {
+  switch (c) {
+    case JobClass::kCpuIntensive: return "cpu-intensive";
+    case JobClass::kMemIntensive: return "mem-intensive";
+    case JobClass::kStorageIntensive: return "storage-intensive";
+    case JobClass::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+const ResourceVector& Job::demand_at(std::size_t k) const {
+  static const ResourceVector kZero{};
+  if (usage.empty()) return kZero;
+  return usage[std::min(k, usage.size() - 1)];
+}
+
+ResourceVector Job::peak_demand() const {
+  ResourceVector peak;
+  for (const auto& u : usage) peak = ResourceVector::max(peak, u);
+  return peak;
+}
+
+ResourceVector Job::mean_demand() const {
+  if (usage.empty()) return ResourceVector::zero();
+  ResourceVector sum;
+  for (const auto& u : usage) sum += u;
+  return sum * (1.0 / static_cast<double>(usage.size()));
+}
+
+ResourceVector Job::unused_at(std::size_t k) const {
+  return (request - demand_at(k)).clamped_non_negative();
+}
+
+ResourceKind Job::dominant_resource() const { return request.dominant(); }
+
+bool Job::valid() const {
+  if (duration_slots == 0) return false;
+  if (usage.size() != duration_slots) return false;
+  if (request.any_negative()) return false;
+  for (const auto& u : usage) {
+    if (u.any_negative()) return false;
+    if (!u.fits_within(request, 1e-6)) return false;
+  }
+  return slo_stretch >= 1.0;
+}
+
+Trace::Trace(std::vector<Job> jobs) : jobs_(std::move(jobs)) { sort(); }
+
+void Trace::add(Job job) { jobs_.push_back(std::move(job)); }
+
+void Trace::sort() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     if (a.submit_slot != b.submit_slot) {
+                       return a.submit_slot < b.submit_slot;
+                     }
+                     return a.id < b.id;
+                   });
+}
+
+std::int64_t Trace::horizon_slots() const {
+  std::int64_t horizon = 0;
+  for (const auto& j : jobs_) {
+    horizon = std::max(
+        horizon, j.submit_slot + static_cast<std::int64_t>(j.duration_slots));
+  }
+  return horizon;
+}
+
+std::vector<std::size_t> Trace::arrivals_at(std::int64_t slot) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].submit_slot == slot) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Trace::class_histogram() const {
+  std::vector<std::size_t> hist(4, 0);
+  for (const auto& j : jobs_) {
+    hist[static_cast<std::size_t>(j.job_class)]++;
+  }
+  return hist;
+}
+
+std::size_t Trace::filter_long_jobs(std::size_t max_slots) {
+  const std::size_t before = jobs_.size();
+  std::erase_if(jobs_,
+                [max_slots](const Job& j) { return j.duration_slots > max_slots; });
+  return before - jobs_.size();
+}
+
+}  // namespace corp::trace

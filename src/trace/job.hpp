@@ -1,0 +1,117 @@
+// Job model: a short-lived cloud task with a reserved request vector and a
+// fluctuating per-slot demand series, plus the whole-trace container.
+//
+// Time is discrete: slots of kSlotSeconds (the paper resamples the Google
+// trace to 10-second records and predicts over 1-minute windows).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/resources.hpp"
+
+namespace corp::trace {
+
+/// Simulation slot length. The paper transforms the 5-minute Google trace
+/// into a 10-second trace (Sec. IV).
+inline constexpr double kSlotSeconds = 10.0;
+
+/// Prediction window L = 1 minute = 6 slots (Sec. III-A).
+inline constexpr std::size_t kWindowSlots = 6;
+
+/// Short-lived job cap: "a maximum timeout of 5 minutes" = 30 slots.
+inline constexpr std::size_t kShortJobMaxSlots = 30;
+
+/// Resource-intensity class of a job; drives both generation and the
+/// complementary-packing evaluation.
+enum class JobClass : std::uint8_t {
+  kCpuIntensive = 0,
+  kMemIntensive = 1,
+  kStorageIntensive = 2,
+  kBalanced = 3,
+};
+
+std::string_view job_class_name(JobClass c);
+
+/// One short-lived job.
+///
+/// `request` is what a reservation-based allocator would set aside for the
+/// job (its declared requirement); `usage[k]` is the actual demand d_{ij,t}
+/// during the job's k-th slot of execution. The temporarily-unused resource
+/// the paper reallocates is `request - usage[k]`, component-wise.
+struct Job {
+  std::uint64_t id = 0;
+  JobClass job_class = JobClass::kBalanced;
+  std::int64_t submit_slot = 0;
+  /// Nominal execution length in slots when fully provisioned.
+  std::size_t duration_slots = 1;
+  /// Reserved/declared requirement per resource type.
+  ResourceVector request;
+  /// Actual demand per execution slot; size() == duration_slots.
+  std::vector<ResourceVector> usage;
+  /// Response-time SLO threshold as a multiple of duration_slots; a job
+  /// whose (possibly stretched) response time exceeds
+  /// duration_slots * slo_stretch violates its SLO (Sec. IV).
+  double slo_stretch = 1.2;
+
+  /// Demand during the k-th slot of execution; the final sample repeats if
+  /// k runs past the recorded series (clamped access).
+  const ResourceVector& demand_at(std::size_t k) const;
+
+  /// Component-wise peak demand over the job's lifetime.
+  ResourceVector peak_demand() const;
+
+  /// Component-wise mean demand over the job's lifetime.
+  ResourceVector mean_demand() const;
+
+  /// request - demand_at(k), clamped at zero: the temporarily-unused
+  /// resource in slot k.
+  ResourceVector unused_at(std::size_t k) const;
+
+  /// Dominant resource of the job's request vector (Sec. III-B).
+  ResourceKind dominant_resource() const;
+
+  /// True when the duration respects the short-lived cap.
+  bool is_short_lived() const { return duration_slots <= kShortJobMaxSlots; }
+
+  /// Validates internal consistency (usage length, non-negative demands,
+  /// usage within request). Returns false rather than throwing so trace
+  /// loaders can report bad rows.
+  bool valid() const;
+};
+
+/// A workload trace: jobs sorted by submit slot.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Job> jobs);
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::vector<Job>& jobs() { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  void add(Job job);
+
+  /// Re-sorts by (submit_slot, id); loaders call this after bulk insert.
+  void sort();
+
+  /// Last slot at which any job can still be running (0 for empty traces).
+  std::int64_t horizon_slots() const;
+
+  /// Indices of jobs submitted exactly at `slot`.
+  std::vector<std::size_t> arrivals_at(std::int64_t slot) const;
+
+  /// Number of jobs per class, for reporting.
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Drops jobs longer than max_slots — the paper's removal of long-lived
+  /// jobs from the Google trace. Returns the number removed.
+  std::size_t filter_long_jobs(std::size_t max_slots = kShortJobMaxSlots);
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace corp::trace

@@ -1,0 +1,69 @@
+#include "trace/resampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corp::trace {
+
+std::vector<double> resample_series(std::span<const double> coarse,
+                                    const ResampleConfig& config,
+                                    util::Rng& rng) {
+  if (coarse.size() < 2 || config.slots_per_sample == 0) {
+    return std::vector<double>(coarse.begin(), coarse.end());
+  }
+  std::vector<double> fine;
+  fine.reserve((coarse.size() - 1) * config.slots_per_sample + 1);
+  for (std::size_t i = 0; i + 1 < coarse.size(); ++i) {
+    const double a = coarse[i];
+    const double b = coarse[i + 1];
+    for (std::size_t s = 0; s < config.slots_per_sample; ++s) {
+      const double frac =
+          static_cast<double>(s) / static_cast<double>(config.slots_per_sample);
+      double v = a + (b - a) * frac;
+      if (s != 0 && config.jitter_fraction > 0.0) {
+        v *= 1.0 + rng.normal(0.0, config.jitter_fraction);
+      }
+      fine.push_back(std::max(config.floor_value, v));
+    }
+  }
+  fine.push_back(std::max(config.floor_value, coarse.back()));
+  return fine;
+}
+
+std::vector<ResourceVector> resample_usage(
+    std::span<const ResourceVector> coarse, const ResampleConfig& config,
+    util::Rng& rng) {
+  if (coarse.size() < 2 || config.slots_per_sample == 0) {
+    return std::vector<ResourceVector>(coarse.begin(), coarse.end());
+  }
+  std::array<std::vector<double>, kNumResources> per_type;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    std::vector<double> series;
+    series.reserve(coarse.size());
+    for (const auto& v : coarse) series.push_back(v[r]);
+    per_type[r] = resample_series(series, config, rng);
+  }
+  const std::size_t n = per_type[0].size();
+  std::vector<ResourceVector> fine(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      fine[t][r] = per_type[r][t];
+    }
+  }
+  return fine;
+}
+
+Job resample_job(const Job& coarse, const ResampleConfig& config,
+                 util::Rng& rng) {
+  Job fine = coarse;
+  fine.usage = resample_usage(coarse.usage, config, rng);
+  // Clamp into [0, request] so jitter cannot push demand above the
+  // reservation — Job::valid() requires usage <= request.
+  for (auto& u : fine.usage) {
+    u = ResourceVector::min(u.clamped_non_negative(), fine.request);
+  }
+  fine.duration_slots = fine.usage.size();
+  return fine;
+}
+
+}  // namespace corp::trace

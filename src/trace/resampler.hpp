@@ -1,0 +1,49 @@
+// Trace resampling: the paper "transformed the remaining of the 5-minute
+// trace into 10-second trace" (Sec. IV). This module implements that
+// transformation for coarse usage records: linear interpolation between
+// 5-minute anchor samples plus bounded jitter so the fine-grained series
+// exhibits the fluctuations short-lived jobs show in practice.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+
+namespace corp::trace {
+
+struct ResampleConfig {
+  /// Number of fine slots per coarse sample: 5 min / 10 s = 30.
+  std::size_t slots_per_sample = 30;
+  /// Std-dev of multiplicative jitter added to interpolated points, as a
+  /// fraction of the local value. Zero gives pure linear interpolation.
+  double jitter_fraction = 0.05;
+  /// Clamp resampled values into [floor, ceiling] * anchor scale.
+  double floor_value = 0.0;
+};
+
+/// Expands a coarse series (one sample per 5 minutes) into a fine series
+/// (one per 10 seconds) with `slots_per_sample` points per input interval.
+/// The output has (input.size() - 1) * slots_per_sample + 1 points and
+/// passes exactly through each anchor; the last anchor terminates the
+/// series. An input with fewer than 2 samples is returned unchanged.
+std::vector<double> resample_series(std::span<const double> coarse,
+                                    const ResampleConfig& config,
+                                    util::Rng& rng);
+
+/// Resamples a coarse per-sample demand series of ResourceVectors into
+/// fine-grained slots, component-wise with independent jitter.
+std::vector<ResourceVector> resample_usage(
+    std::span<const ResourceVector> coarse, const ResampleConfig& config,
+    util::Rng& rng);
+
+/// Rebuilds a Job whose usage was recorded at coarse granularity into a
+/// fine-grained job: duration and usage expand by slots_per_sample.
+/// The request vector is preserved; fine usage is clamped into
+/// [0, request] so Job::valid() still holds.
+Job resample_job(const Job& coarse, const ResampleConfig& config,
+                 util::Rng& rng);
+
+}  // namespace corp::trace

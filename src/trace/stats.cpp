@@ -1,0 +1,102 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace corp::trace {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.tasks = trace.size();
+  stats.horizon_slots = trace.horizon_slots();
+
+  std::vector<double> durations;
+  std::array<std::vector<double>, kNumResources> requests;
+  std::vector<double> utilizations;
+  std::vector<double> unused;
+  durations.reserve(trace.size());
+
+  for (const Job& job : trace.jobs()) {
+    stats.class_histogram[static_cast<std::size_t>(job.job_class)]++;
+    (job.is_short_lived() ? stats.short_lived : stats.long_lived)++;
+    durations.push_back(static_cast<double>(job.duration_slots) *
+                        kSlotSeconds);
+    double util_sum = 0.0;
+    std::size_t util_n = 0;
+    const ResourceVector mean_demand = job.mean_demand();
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      requests[r].push_back(job.request[r]);
+      if (job.request[r] > 0.0) {
+        util_sum += mean_demand[r] / job.request[r];
+        ++util_n;
+      }
+    }
+    if (util_n > 0) {
+      const double u = util_sum / static_cast<double>(util_n);
+      utilizations.push_back(u);
+      unused.push_back(1.0 - u);
+    }
+  }
+
+  stats.duration_seconds = util::summarize(durations);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    stats.request[r] = util::summarize(requests[r]);
+  }
+  stats.utilization_fraction = util::summarize(utilizations);
+  stats.unused_fraction = util::summarize(unused);
+
+  // Concurrency profile via an arrival/departure sweep.
+  if (!trace.empty()) {
+    std::vector<std::pair<std::int64_t, int>> events;
+    events.reserve(trace.size() * 2);
+    for (const Job& job : trace.jobs()) {
+      events.emplace_back(job.submit_slot, +1);
+      events.emplace_back(
+          job.submit_slot + static_cast<std::int64_t>(job.duration_slots),
+          -1);
+    }
+    std::sort(events.begin(), events.end());
+    std::int64_t current = 0, peak = 0;
+    for (const auto& [slot, delta] : events) {
+      current += delta;
+      peak = std::max(peak, current);
+    }
+    stats.peak_concurrency = static_cast<std::size_t>(peak);
+  }
+  return stats;
+}
+
+void print_stats(const TraceStats& stats, std::ostream& out) {
+  out << "tasks: " << stats.tasks << "  (" << stats.short_lived
+      << " short-lived, " << stats.long_lived << " long-lived)\n"
+      << "arrival horizon: " << stats.horizon_slots << " slots ("
+      << static_cast<double>(stats.horizon_slots) * kSlotSeconds
+      << " s), peak concurrency: " << stats.peak_concurrency << "\n\n";
+
+  util::TextTable mix({"class", "tasks"});
+  for (std::size_t c = 0; c < stats.class_histogram.size(); ++c) {
+    mix.add_row(std::string(job_class_name(static_cast<JobClass>(c))),
+                {static_cast<double>(stats.class_histogram[c])});
+  }
+  out << mix.to_string() << '\n';
+
+  util::TextTable table({"metric", "mean", "median", "p95", "max"});
+  auto row = [&](const std::string& name, const util::Summary& s) {
+    table.add_row(name, {s.mean, s.median, s.p95, s.max});
+  };
+  row("duration (s)", stats.duration_seconds);
+  row("cpu request (cores)",
+      stats.request[static_cast<std::size_t>(ResourceKind::kCpu)]);
+  row("mem request (GB)",
+      stats.request[static_cast<std::size_t>(ResourceKind::kMemory)]);
+  row("storage request (GB)",
+      stats.request[static_cast<std::size_t>(ResourceKind::kStorage)]);
+  row("utilization fraction", stats.utilization_fraction);
+  row("unused fraction", stats.unused_fraction);
+  out << table.to_string();
+}
+
+}  // namespace corp::trace

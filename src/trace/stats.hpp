@@ -1,0 +1,42 @@
+// Workload statistics: the summary a capacity planner (or a reviewer
+// checking a synthetic trace against the Google trace's published shape)
+// wants from a Trace.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "trace/job.hpp"
+#include "util/stats.hpp"
+
+namespace corp::trace {
+
+struct TraceStats {
+  std::size_t tasks = 0;
+  std::int64_t horizon_slots = 0;
+  /// Tasks per JobClass (cpu/mem/storage-intensive, balanced).
+  std::array<std::size_t, 4> class_histogram{};
+  std::size_t short_lived = 0;
+  std::size_t long_lived = 0;
+  /// Task durations in seconds.
+  util::Summary duration_seconds;
+  /// Requested amounts per resource type.
+  std::array<util::Summary, kNumResources> request;
+  /// Per-task mean utilization fraction (demand / request), pooled over
+  /// resource types with positive requests.
+  util::Summary utilization_fraction;
+  /// Per-task mean unused fraction (1 - utilization).
+  util::Summary unused_fraction;
+  /// Peak number of tasks whose [submit, submit+duration) overlap one
+  /// slot — the workload's intrinsic concurrency (ignores scheduling).
+  std::size_t peak_concurrency = 0;
+};
+
+/// Computes the full statistics of a trace in one pass (plus one pass for
+/// the concurrency profile).
+TraceStats compute_stats(const Trace& trace);
+
+/// Pretty-prints the statistics as aligned tables.
+void print_stats(const TraceStats& stats, std::ostream& out);
+
+}  // namespace corp::trace

@@ -1,0 +1,94 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace corp::trace {
+
+namespace {
+const std::vector<std::string> kHeader = {
+    "job_id",  "class",    "submit_slot", "duration_slots",
+    "slo_stretch", "req_cpu", "req_mem",     "req_storage",
+    "slot",    "use_cpu",  "use_mem",     "use_storage"};
+}  // namespace
+
+void write_trace_csv(const Trace& trace, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row(kHeader);
+  for (const auto& job : trace.jobs()) {
+    for (std::size_t t = 0; t < job.usage.size(); ++t) {
+      writer.write_row(std::vector<std::string>{
+          std::to_string(job.id),
+          std::to_string(static_cast<int>(job.job_class)),
+          std::to_string(job.submit_slot),
+          std::to_string(job.duration_slots),
+          util::format_double(job.slo_stretch, 12),
+          util::format_double(job.request.cpu(), 12),
+          util::format_double(job.request.memory(), 12),
+          util::format_double(job.request.storage(), 12),
+          std::to_string(t),
+          util::format_double(job.usage[t].cpu(), 12),
+          util::format_double(job.usage[t].memory(), 12),
+          util::format_double(job.usage[t].storage(), 12)});
+    }
+  }
+}
+
+void write_trace_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace_csv_file: cannot open " + path);
+  }
+  write_trace_csv(trace, out);
+}
+
+Trace read_trace_csv(std::istream& in) {
+  const util::CsvDocument doc = util::read_csv(in);
+  if (doc.header != kHeader) {
+    throw std::runtime_error("read_trace_csv: unexpected header");
+  }
+  std::map<std::uint64_t, Job> jobs;
+  for (const auto& row : doc.rows) {
+    if (row.size() != kHeader.size()) {
+      throw std::runtime_error("read_trace_csv: malformed row");
+    }
+    const std::uint64_t id = std::stoull(row[0]);
+    Job& job = jobs[id];
+    job.id = id;
+    job.job_class = static_cast<JobClass>(std::stoi(row[1]));
+    job.submit_slot = std::stoll(row[2]);
+    job.duration_slots = std::stoul(row[3]);
+    job.slo_stretch = std::stod(row[4]);
+    job.request =
+        ResourceVector(std::stod(row[5]), std::stod(row[6]), std::stod(row[7]));
+    const auto slot = static_cast<std::size_t>(std::stoul(row[8]));
+    if (job.usage.size() <= slot) job.usage.resize(slot + 1);
+    job.usage[slot] =
+        ResourceVector(std::stod(row[9]), std::stod(row[10]), std::stod(row[11]));
+  }
+  std::vector<Job> list;
+  list.reserve(jobs.size());
+  for (auto& [id, job] : jobs) {
+    if (!job.valid()) {
+      throw std::runtime_error("read_trace_csv: invalid job " +
+                               std::to_string(id));
+    }
+    list.push_back(std::move(job));
+  }
+  return Trace(std::move(list));
+}
+
+Trace read_trace_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace_csv_file: cannot open " + path);
+  }
+  return read_trace_csv(in);
+}
+
+}  // namespace corp::trace

@@ -1,0 +1,27 @@
+// Trace serialization. Format: one CSV row per (job, slot) usage sample,
+// mirroring how cluster traces ship (long format), so external tools can
+// consume generated traces and we can replay recorded ones.
+//
+// Columns:
+//   job_id, class, submit_slot, duration_slots, slo_stretch,
+//   req_cpu, req_mem, req_storage, slot, use_cpu, use_mem, use_storage
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/job.hpp"
+
+namespace corp::trace {
+
+/// Writes the trace in long CSV format.
+void write_trace_csv(const Trace& trace, std::ostream& out);
+void write_trace_csv_file(const Trace& trace, const std::string& path);
+
+/// Parses a trace written by write_trace_csv. Rows that fail validation
+/// (negative demand, usage above request, inconsistent duration) raise
+/// std::runtime_error with the offending job id.
+Trace read_trace_csv(std::istream& in);
+Trace read_trace_csv_file(const std::string& path);
+
+}  // namespace corp::trace

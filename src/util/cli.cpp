@@ -1,0 +1,58 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corp::util {
+
+ArgParser::ArgParser(int argc, char** argv, int first,
+                     const std::vector<std::string>& known) {
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string flag = token.substr(2);
+    std::string value;
+    const auto eq = flag.find('=');
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + flag + " needs a value");
+      }
+      value = argv[++i];
+    }
+    if (!known.empty() &&
+        std::find(known.begin(), known.end(), flag) == known.end()) {
+      throw std::invalid_argument("unknown flag --" + flag);
+    }
+    values_[flag] = std::move(value);
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return values_.count(flag) > 0;
+}
+
+std::string ArgParser::get(const std::string& flag,
+                           const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& flag,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& flag,
+                             double fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace corp::util

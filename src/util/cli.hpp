@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for the tools/ binaries:
+// `--flag value` and `--flag=value` forms, typed getters with defaults,
+// and validation that every provided flag was declared.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace corp::util {
+
+class ArgParser {
+ public:
+  /// Parses argv[first..argc). Throws std::invalid_argument on a flag
+  /// without a value or one not in `known` (empty known = accept all).
+  ArgParser(int argc, char** argv, int first,
+            const std::vector<std::string>& known = {});
+
+  bool has(const std::string& flag) const;
+
+  std::string get(const std::string& flag,
+                  const std::string& fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+  /// Positional arguments (tokens not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace corp::util

@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace corp::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double q = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution d(q);
+  return d(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  // Inverse-CDF sampling: X = x_m / U^{1/alpha}, U ~ Uniform(0,1].
+  const double u = 1.0 - uniform(0.0, 1.0);  // avoid u == 0
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return 0;
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = std::max(weights[i], 0.0);
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+Rng Rng::fork() {
+  // Draw two words to decorrelate the child from the parent stream.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x2545f4914f6cdd1dULL);
+}
+
+}  // namespace corp::util

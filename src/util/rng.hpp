@@ -1,0 +1,66 @@
+// Deterministic random number generation for all stochastic components.
+//
+// Every stochastic module in CORP (trace generation, DNN weight init,
+// baseline predictors, schedulers that pick random feasible VMs) takes an
+// explicit Rng so that experiments are reproducible run-to-run; there is no
+// hidden global generator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace corp::util {
+
+/// A seedable pseudo-random generator wrapping a 64-bit Mersenne twister
+/// with convenience distributions used throughout the code base.
+class Rng {
+ public:
+  /// Constructs a generator from an explicit seed. The same seed always
+  /// produces the same stream on every platform we target.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  /// Used for heavy-tailed short-job durations.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Pareto-distributed double with scale x_m > 0 and shape alpha > 0.
+  /// Models the heavy tail of job resource demands in cluster traces.
+  double pareto(double x_m, double alpha);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// first index is returned.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator; useful for giving each worker
+  /// thread or each job its own stream without sharing state.
+  Rng fork();
+
+  /// Access to the raw engine for std:: distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace corp::util

@@ -1,0 +1,84 @@
+// Summary statistics, online accumulators and normal quantiles.
+//
+// These primitives back the paper's confidence-interval machinery
+// (Eq. 18-19: the forecast is lowered by sigma_hat * z_{theta/2}) and the
+// prediction-error bookkeeping (Eq. 20-21).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace corp::util {
+
+/// Welford online accumulator for mean/variance; numerically stable and
+/// O(1) per observation, suitable for long prediction-error streams.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a span of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a full summary of the samples (copies for percentile sorting).
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile, q in [0, 1]. Empty input returns 0.
+double percentile(std::span<const double> samples, double q);
+
+/// Quantile function (inverse CDF) of the standard normal distribution,
+/// evaluated with the Acklam rational approximation (|error| < 1.2e-9).
+/// p must lie in (0, 1).
+double normal_quantile(double p);
+
+/// Standard normal CDF via erfc.
+double normal_cdf(double x);
+
+/// `z_{theta/2}`: the value such that P(Z > z) = theta/2 for standard normal
+/// Z, i.e. the half-width multiplier of a (1 - theta) two-sided confidence
+/// interval (Eq. 18). theta must lie in (0, 1).
+double z_half_alpha(double theta);
+
+/// Mean of a span (0 for empty spans).
+double mean_of(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length spans; 0 when undefined.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square error between predictions and truth (equal lengths).
+double rmse(std::span<const double> pred, std::span<const double> truth);
+
+/// Mean absolute error between predictions and truth (equal lengths).
+double mae(std::span<const double> pred, std::span<const double> truth);
+
+}  // namespace corp::util

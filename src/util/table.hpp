@@ -1,0 +1,34 @@
+// Aligned plain-text table rendering. The benchmark harnesses use this to
+// print each paper figure as a series table (x column + one column per
+// method), which EXPERIMENTS.md then records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corp::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: first cell is the label, rest are numeric values.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int digits = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corp::util

@@ -1,0 +1,67 @@
+// Fixed-size thread pool used to parallelize per-job DNN training and the
+// per-method simulation sweeps in the benchmark harness.
+//
+// Design notes (C++ Core Guidelines CP.*):
+//  - tasks are type-erased std::function<void()>; results flow through
+//    futures or caller-owned per-task slots, never shared mutable state;
+//  - the pool joins all workers in the destructor, so it cannot outlive its
+//    tasks' captured references when used with parallel_for/wait.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace corp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs body(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations are distributed in contiguous chunks to limit contention.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace corp::util

@@ -1,0 +1,85 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+
+namespace corp::util {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : data_(capacity > 0 ? capacity : 1), capacity_(capacity > 0 ? capacity : 1) {}
+
+void TimeSeries::push(double x) {
+  if (size_ < capacity_) {
+    data_[physical_index(size_)] = x;
+    ++size_;
+  } else {
+    data_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+double TimeSeries::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("TimeSeries::at");
+  return data_[physical_index(i)];
+}
+
+double TimeSeries::back() const {
+  if (size_ == 0) throw std::out_of_range("TimeSeries::back on empty series");
+  return data_[physical_index(size_ - 1)];
+}
+
+std::vector<double> TimeSeries::last(std::size_t n) const {
+  const std::size_t take = std::min(n, size_);
+  std::vector<double> out;
+  out.reserve(take);
+  for (std::size_t i = size_ - take; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+std::vector<double> TimeSeries::snapshot() const { return last(size_); }
+
+double TimeSeries::min() const {
+  if (size_ == 0) return 0.0;
+  double m = at(0);
+  for (std::size_t i = 1; i < size_; ++i) m = std::min(m, at(i));
+  return m;
+}
+
+double TimeSeries::max() const {
+  if (size_ == 0) return 0.0;
+  double m = at(0);
+  for (std::size_t i = 1; i < size_; ++i) m = std::max(m, at(i));
+  return m;
+}
+
+double TimeSeries::mean() const {
+  if (size_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) s += at(i);
+  return s / static_cast<double>(size_);
+}
+
+void TimeSeries::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+std::vector<double> window_ranges(std::span<const double> series,
+                                  std::size_t window) {
+  std::vector<double> out;
+  if (window == 0 || series.size() < window) return out;
+  const std::size_t nwin = series.size() / window;
+  out.reserve(nwin);
+  for (std::size_t w = 0; w < nwin; ++w) {
+    double lo = series[w * window];
+    double hi = lo;
+    for (std::size_t i = 1; i < window; ++i) {
+      const double x = series[w * window + i];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    out.push_back(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace corp::util

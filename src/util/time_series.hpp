@@ -1,0 +1,67 @@
+// Fixed-capacity sliding time series for per-job / per-VM resource history.
+//
+// Every predictor in src/predict consumes these: the DNN reads the last
+// `delta` slots, the HMM symbolizer reads windowed min/max differences, ETS
+// and the Markov chain read the full retained history.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace corp::util {
+
+/// A ring buffer of doubles indexed from oldest (0) to newest (size()-1).
+/// Capacity is fixed at construction; pushing past capacity evicts the
+/// oldest sample. Contiguous access is provided by snapshot().
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Appends a sample, evicting the oldest if at capacity.
+  void push(double x);
+
+  /// i-th retained sample, 0 = oldest. Throws std::out_of_range.
+  double at(std::size_t i) const;
+
+  /// Newest sample. Throws std::out_of_range when empty.
+  double back() const;
+
+  /// The most recent `n` samples in chronological order (n <= size()).
+  std::vector<double> last(std::size_t n) const;
+
+  /// All retained samples in chronological order.
+  std::vector<double> snapshot() const;
+
+  /// Min/max/mean of retained samples (0s when empty).
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  void clear();
+
+ private:
+  std::size_t physical_index(std::size_t logical) const {
+    return (head_ + logical) % capacity_;
+  }
+
+  std::vector<double> data_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // physical index of oldest element
+  std::size_t size_ = 0;
+};
+
+/// Splits a chronological series into fixed-width non-overlapping windows
+/// and returns (max - min) per window — the `Delta_j` statistic used by the
+/// paper's HMM symbolizer (Sec. III-A1b). Trailing partial windows are
+/// dropped. window must be >= 1.
+std::vector<double> window_ranges(std::span<const double> series,
+                                  std::size_t window);
+
+}  // namespace corp::util

@@ -1,0 +1,79 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::cluster {
+namespace {
+
+TEST(EnvironmentTest, PalmettoMatchesPaper) {
+  const EnvironmentConfig env = EnvironmentConfig::PalmettoCluster();
+  EXPECT_EQ(env.num_pms, 50u);  // "we applied for 50 nodes"
+  EXPECT_EQ(env.pm_capacity, trace::ResourceVector(16.0, 64.0, 720.0));
+  // N_v within Table II's 100-400 range.
+  EXPECT_GE(env.total_vms(), 100u);
+  EXPECT_LE(env.total_vms(), 400u);
+}
+
+TEST(EnvironmentTest, Ec2MatchesPaper) {
+  const EnvironmentConfig env = EnvironmentConfig::AmazonEc2();
+  EXPECT_EQ(env.num_pms, 30u);       // 30 nodes
+  EXPECT_EQ(env.vms_per_pm, 1u);     // "each node is simulated as a VM"
+  EXPECT_DOUBLE_EQ(env.pm_capacity.storage(), 720.0);  // 720 GB disk
+  // EC2's communication overhead exceeds the local cluster's (Fig. 14 vs
+  // Fig. 10).
+  EXPECT_GT(env.comm_overhead_us,
+            EnvironmentConfig::PalmettoCluster().comm_overhead_us);
+}
+
+TEST(EnvironmentTest, VmCapacityIsEvenCarve) {
+  EnvironmentConfig env = EnvironmentConfig::PalmettoCluster();
+  env.vms_per_pm = 4;
+  EXPECT_EQ(env.vm_capacity(), trace::ResourceVector(4.0, 16.0, 180.0));
+}
+
+TEST(ClusterTest, BuildsAllVms) {
+  const Cluster cluster(EnvironmentConfig::PalmettoCluster());
+  const auto env = EnvironmentConfig::PalmettoCluster();
+  EXPECT_EQ(cluster.num_pms(), env.num_pms);
+  EXPECT_EQ(cluster.num_vms(), env.total_vms());
+}
+
+TEST(ClusterTest, VmsMappedToPms) {
+  const Cluster cluster(EnvironmentConfig::PalmettoCluster());
+  for (std::size_t p = 0; p < cluster.num_pms(); ++p) {
+    const PhysicalMachine& pm = cluster.pm(p);
+    EXPECT_EQ(pm.vm_ids.size(),
+              EnvironmentConfig::PalmettoCluster().vms_per_pm);
+    for (std::uint32_t vid : pm.vm_ids) {
+      EXPECT_EQ(cluster.vm(vid).pm_id(), pm.id);
+      EXPECT_EQ(cluster.vm(vid).id(), vid);
+    }
+  }
+}
+
+TEST(ClusterTest, MaxVmCapacity) {
+  const Cluster cluster(EnvironmentConfig::PalmettoCluster());
+  const auto max_cap = cluster.max_vm_capacity();
+  EXPECT_EQ(max_cap, EnvironmentConfig::PalmettoCluster().vm_capacity());
+}
+
+TEST(ClusterTest, TotalsAggregate) {
+  Cluster cluster(EnvironmentConfig::AmazonEc2());
+  EXPECT_EQ(cluster.total_committed(), trace::ResourceVector::zero());
+  const auto capacity = cluster.total_capacity();
+  EXPECT_DOUBLE_EQ(capacity.cpu(), 2.0 * 30);
+  cluster.vm(0).commit(trace::ResourceVector(1.0, 1.0, 10.0));
+  cluster.vm(5).commit(trace::ResourceVector(0.5, 2.0, 20.0));
+  EXPECT_EQ(cluster.total_committed(),
+            trace::ResourceVector(1.5, 3.0, 30.0));
+}
+
+TEST(ClusterTest, ResetReleasesEverything) {
+  Cluster cluster(EnvironmentConfig::AmazonEc2());
+  cluster.vm(0).commit(trace::ResourceVector(1.0, 1.0, 10.0));
+  cluster.reset();
+  EXPECT_EQ(cluster.total_committed(), trace::ResourceVector::zero());
+}
+
+}  // namespace
+}  // namespace corp::cluster

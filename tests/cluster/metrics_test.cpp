@@ -1,0 +1,99 @@
+#include "cluster/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corp::cluster {
+namespace {
+
+std::vector<AllocationSample> two_jobs() {
+  // Job 1: allocated <2,4,10>, demand <1,2,5>.
+  // Job 2: allocated <2,0,10>, demand <2,0,5>.
+  return {
+      {ResourceVector(2, 4, 10), ResourceVector(1, 2, 5)},
+      {ResourceVector(2, 0, 10), ResourceVector(2, 0, 5)},
+  };
+}
+
+TEST(MetricsTest, Eq1PerTypeUtilization) {
+  const auto samples = two_jobs();
+  EXPECT_DOUBLE_EQ(utilization(samples, ResourceKind::kCpu), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(utilization(samples, ResourceKind::kMemory), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(utilization(samples, ResourceKind::kStorage),
+                   10.0 / 20.0);
+}
+
+TEST(MetricsTest, Eq1ZeroAllocationGivesZero) {
+  std::vector<AllocationSample> none;
+  EXPECT_DOUBLE_EQ(utilization(none, ResourceKind::kCpu), 0.0);
+  std::vector<AllocationSample> zero_alloc{
+      {ResourceVector::zero(), ResourceVector(1, 1, 1)}};
+  EXPECT_DOUBLE_EQ(utilization(zero_alloc, ResourceKind::kCpu), 0.0);
+}
+
+TEST(MetricsTest, Eq2OverallWeighted) {
+  const auto samples = two_jobs();
+  ResourceWeights w;  // 0.4/0.4/0.2
+  const double expected =
+      (0.4 * 3.0 + 0.4 * 2.0 + 0.2 * 10.0) /
+      (0.4 * 4.0 + 0.4 * 4.0 + 0.2 * 20.0);
+  EXPECT_DOUBLE_EQ(overall_utilization(samples, w), expected);
+}
+
+TEST(MetricsTest, Eq3Wastage) {
+  const auto samples = two_jobs();
+  EXPECT_DOUBLE_EQ(wastage(samples, ResourceKind::kCpu), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(wastage(samples, ResourceKind::kStorage), 0.5);
+}
+
+TEST(MetricsTest, UtilizationPlusWastageIsOne) {
+  // Eq. 1 + Eq. 3 are complementary by construction.
+  const auto samples = two_jobs();
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    EXPECT_NEAR(utilization(samples, kind) + wastage(samples, kind), 1.0,
+                1e-12);
+  }
+  ResourceWeights w;
+  EXPECT_NEAR(overall_utilization(samples, w) + overall_wastage(samples, w),
+              1.0, 1e-12);
+}
+
+TEST(MetricsTest, AccumulatorAveragesAcrossSlots) {
+  SlotMetricsAccumulator acc;
+  std::vector<AllocationSample> slot1{
+      {ResourceVector(2, 2, 2), ResourceVector(1, 1, 1)}};  // 50%
+  std::vector<AllocationSample> slot2{
+      {ResourceVector(2, 2, 2), ResourceVector(2, 2, 2)}};  // 100%
+  acc.observe_slot(slot1);
+  acc.observe_slot(slot2);
+  EXPECT_EQ(acc.slots_observed(), 2u);
+  EXPECT_NEAR(acc.mean_utilization(ResourceKind::kCpu), 0.75, 1e-12);
+  EXPECT_NEAR(acc.mean_overall_utilization(), 0.75, 1e-12);
+  EXPECT_NEAR(acc.mean_wastage(ResourceKind::kCpu), 0.25, 1e-12);
+  EXPECT_NEAR(acc.mean_overall_wastage(), 0.25, 1e-12);
+}
+
+TEST(MetricsTest, AccumulatorSkipsIdleSlots) {
+  SlotMetricsAccumulator acc;
+  acc.observe_slot({});  // no jobs -> skipped
+  std::vector<AllocationSample> zero{
+      {ResourceVector::zero(), ResourceVector::zero()}};
+  acc.observe_slot(zero);  // zero allocation -> skipped
+  EXPECT_EQ(acc.slots_observed(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_overall_utilization(), 0.0);
+}
+
+TEST(MetricsTest, OpportunisticDemandCanExceedAllocation) {
+  // An opportunistic job contributes demand with zero allocation; per-slot
+  // utilization can exceed 1, reflecting overcommit.
+  std::vector<AllocationSample> samples{
+      {ResourceVector(2, 2, 2), ResourceVector(1, 1, 1)},
+      {ResourceVector::zero(), ResourceVector(1.5, 1.5, 1.5)},
+  };
+  EXPECT_GT(utilization(samples, ResourceKind::kCpu), 1.0);
+}
+
+}  // namespace
+}  // namespace corp::cluster

@@ -1,0 +1,75 @@
+#include "cluster/slo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::cluster {
+namespace {
+
+TEST(SloTrackerTest, EmptyRates) {
+  SloTracker tracker;
+  EXPECT_EQ(tracker.completed(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_stretch(), 0.0);
+}
+
+TEST(SloTrackerTest, OnTimeJobNotViolated) {
+  SloTracker tracker;
+  tracker.record(1, 10, 10, 12.0);
+  EXPECT_EQ(tracker.violations(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 0.0);
+}
+
+TEST(SloTrackerTest, LateJobViolated) {
+  SloTracker tracker;
+  tracker.record(1, 10, 13, 12.0);
+  EXPECT_EQ(tracker.violations(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 1.0);
+  EXPECT_TRUE(tracker.outcomes()[0].violated);
+}
+
+TEST(SloTrackerTest, ThresholdBoundaryNotViolated) {
+  SloTracker tracker;
+  tracker.record(1, 10, 12, 12.0);  // exactly at threshold
+  EXPECT_EQ(tracker.violations(), 0u);
+}
+
+TEST(SloTrackerTest, ZeroThresholdNeverViolates) {
+  SloTracker tracker;
+  tracker.record(1, 10, 100, 0.0);
+  EXPECT_EQ(tracker.violations(), 0u);
+}
+
+TEST(SloTrackerTest, RateAggregates) {
+  SloTracker tracker;
+  tracker.record(1, 10, 10, 12.0);  // ok
+  tracker.record(2, 10, 15, 12.0);  // violated
+  tracker.record(3, 10, 11, 12.0);  // ok
+  tracker.record(4, 10, 20, 12.0);  // violated
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 0.5);
+  EXPECT_EQ(tracker.completed(), 4u);
+}
+
+TEST(SloTrackerTest, MeanStretch) {
+  SloTracker tracker;
+  tracker.record(1, 10, 10, 12.0);  // stretch 1.0
+  tracker.record(2, 10, 20, 12.0);  // stretch 2.0
+  EXPECT_DOUBLE_EQ(tracker.mean_stretch(), 1.5);
+}
+
+TEST(SloTrackerTest, MeanStretchSkipsZeroDuration) {
+  SloTracker tracker;
+  tracker.record(1, 0, 5, 1.0);
+  tracker.record(2, 10, 10, 12.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_stretch(), 1.0);
+}
+
+TEST(SloTrackerTest, ResetClears) {
+  SloTracker tracker;
+  tracker.record(1, 10, 20, 12.0);
+  tracker.reset();
+  EXPECT_EQ(tracker.completed(), 0u);
+  EXPECT_EQ(tracker.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace corp::cluster

@@ -1,0 +1,76 @@
+#include "cluster/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::cluster {
+namespace {
+
+TEST(VmTest, ConstructionAndAccessors) {
+  VirtualMachine vm(3, 1, ResourceVector(4.0, 16.0, 100.0));
+  EXPECT_EQ(vm.id(), 3u);
+  EXPECT_EQ(vm.pm_id(), 1u);
+  EXPECT_EQ(vm.capacity(), ResourceVector(4.0, 16.0, 100.0));
+  EXPECT_EQ(vm.committed(), ResourceVector::zero());
+  EXPECT_EQ(vm.unallocated(), vm.capacity());
+}
+
+TEST(VmTest, RejectsNegativeCapacity) {
+  EXPECT_THROW(VirtualMachine(0, 0, ResourceVector(-1.0, 1.0, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(VmTest, CommitReducesUnallocated) {
+  VirtualMachine vm(0, 0, ResourceVector(4.0, 16.0, 100.0));
+  vm.commit(ResourceVector(1.0, 4.0, 10.0));
+  EXPECT_EQ(vm.unallocated(), ResourceVector(3.0, 12.0, 90.0));
+  EXPECT_EQ(vm.committed(), ResourceVector(1.0, 4.0, 10.0));
+}
+
+TEST(VmTest, CanCommitChecksEveryComponent) {
+  VirtualMachine vm(0, 0, ResourceVector(4.0, 16.0, 100.0));
+  EXPECT_TRUE(vm.can_commit(ResourceVector(4.0, 16.0, 100.0)));
+  EXPECT_FALSE(vm.can_commit(ResourceVector(4.1, 1.0, 1.0)));
+  EXPECT_FALSE(vm.can_commit(ResourceVector(1.0, 17.0, 1.0)));
+}
+
+TEST(VmTest, OverCommitThrows) {
+  VirtualMachine vm(0, 0, ResourceVector(1.0, 1.0, 1.0));
+  vm.commit(ResourceVector(0.8, 0.8, 0.8));
+  EXPECT_THROW(vm.commit(ResourceVector(0.3, 0.0, 0.0)),
+               std::runtime_error);
+}
+
+TEST(VmTest, ReleaseReturnsResources) {
+  VirtualMachine vm(0, 0, ResourceVector(2.0, 2.0, 2.0));
+  vm.commit(ResourceVector(1.5, 1.5, 1.5));
+  vm.release(ResourceVector(0.5, 0.5, 0.5));
+  EXPECT_EQ(vm.committed(), ResourceVector(1.0, 1.0, 1.0));
+}
+
+TEST(VmTest, ReleaseClampsAtZero) {
+  VirtualMachine vm(0, 0, ResourceVector(2.0, 2.0, 2.0));
+  vm.commit(ResourceVector(0.5, 0.5, 0.5));
+  vm.release(ResourceVector(1.0, 1.0, 1.0));
+  EXPECT_EQ(vm.committed(), ResourceVector::zero());
+}
+
+TEST(VmTest, RepeatedCommitReleaseCycleStable) {
+  VirtualMachine vm(0, 0, ResourceVector(4.0, 4.0, 4.0));
+  const ResourceVector amount(0.3, 0.7, 1.1);
+  for (int i = 0; i < 1000; ++i) {
+    vm.commit(amount);
+    vm.release(amount);
+  }
+  EXPECT_NEAR(vm.committed().total(), 0.0, 1e-9);
+  EXPECT_TRUE(vm.can_commit(vm.capacity()));
+}
+
+TEST(VmTest, CommittedFractionWeighted) {
+  VirtualMachine vm(0, 0, ResourceVector(10.0, 10.0, 10.0));
+  vm.commit(ResourceVector(5.0, 5.0, 5.0));
+  trace::ResourceWeights weights;
+  EXPECT_NEAR(vm.committed_fraction(weights), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace corp::cluster

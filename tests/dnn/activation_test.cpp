@@ -1,0 +1,85 @@
+#include "dnn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace corp::dnn {
+namespace {
+
+TEST(ActivationTest, SigmoidValues) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kSigmoid, 0.0), 0.5);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 100.0), 1.0, 1e-12);
+  EXPECT_NEAR(activate(Activation::kSigmoid, -100.0), 0.0, 1e-12);
+}
+
+TEST(ActivationTest, TanhValues) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kTanh, 0.0), 0.0);
+  EXPECT_NEAR(activate(Activation::kTanh, 1.0), std::tanh(1.0), 1e-15);
+}
+
+TEST(ActivationTest, ReluValues) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 3.0), 3.0);
+}
+
+TEST(ActivationTest, IdentityPassesThrough) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kIdentity, -7.5), -7.5);
+}
+
+TEST(ActivationTest, DerivativesFromOutput) {
+  // sigmoid'(0) = 0.25, expressed via y = 0.5.
+  EXPECT_DOUBLE_EQ(
+      activate_derivative_from_output(Activation::kSigmoid, 0.5), 0.25);
+  // tanh' via y: 1 - y^2.
+  EXPECT_DOUBLE_EQ(activate_derivative_from_output(Activation::kTanh, 0.5),
+                   0.75);
+  EXPECT_DOUBLE_EQ(activate_derivative_from_output(Activation::kRelu, 2.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(activate_derivative_from_output(Activation::kRelu, 0.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      activate_derivative_from_output(Activation::kIdentity, 123.0), 1.0);
+}
+
+// Property: the output-based derivative matches the finite difference of
+// the forward function for every activation kind.
+class ActivationGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradTest, DerivativeMatchesFiniteDifference) {
+  const Activation a = GetParam();
+  for (double x : {-1.5, -0.3, 0.2, 0.9, 2.0}) {
+    if (a == Activation::kRelu && std::abs(x) < 0.25) continue;  // kink
+    const double h = 1e-6;
+    const double fd =
+        (activate(a, x + h) - activate(a, x - h)) / (2.0 * h);
+    const double y = activate(a, x);
+    EXPECT_NEAR(activate_derivative_from_output(a, y), fd, 1e-5)
+        << activation_name(a) << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradTest,
+                         ::testing::Values(Activation::kSigmoid,
+                                           Activation::kTanh,
+                                           Activation::kRelu,
+                                           Activation::kIdentity));
+
+TEST(ActivationTest, InplaceAppliesToAll) {
+  std::vector<double> xs{-1.0, 0.0, 1.0};
+  activate_inplace(Activation::kRelu, xs);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[2], 1.0);
+}
+
+TEST(ActivationTest, NameRoundTrip) {
+  for (Activation a : {Activation::kSigmoid, Activation::kTanh,
+                       Activation::kRelu, Activation::kIdentity}) {
+    EXPECT_EQ(activation_from_name(activation_name(a)), a);
+  }
+  EXPECT_THROW(activation_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corp::dnn

@@ -1,0 +1,130 @@
+#include "dnn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/loss.hpp"
+
+namespace corp::dnn {
+namespace {
+
+TEST(DenseLayerTest, ShapesAndParameterCount) {
+  util::Rng rng(1);
+  DenseLayer layer(4, 3, Activation::kSigmoid, rng);
+  EXPECT_EQ(layer.inputs(), 4u);
+  EXPECT_EQ(layer.outputs(), 3u);
+  EXPECT_EQ(layer.parameter_count(), 4u * 3u + 3u);
+}
+
+TEST(DenseLayerTest, RejectsZeroSizes) {
+  util::Rng rng(1);
+  EXPECT_THROW(DenseLayer(0, 3, Activation::kSigmoid, rng),
+               std::invalid_argument);
+  EXPECT_THROW(DenseLayer(3, 0, Activation::kSigmoid, rng),
+               std::invalid_argument);
+}
+
+TEST(DenseLayerTest, ForwardComputesEq5) {
+  util::Rng rng(1);
+  DenseLayer layer(2, 1, Activation::kIdentity, rng);
+  layer.weights()(0, 0) = 2.0;
+  layer.weights()(0, 1) = -1.0;
+  layer.bias()[0] = 0.5;
+  const Vector& out = layer.forward(std::vector<double>{3.0, 1.0});
+  // 2*3 - 1*1 + 0.5 = 5.5
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 5.5);
+}
+
+TEST(DenseLayerTest, ForwardWrongSizeThrows) {
+  util::Rng rng(1);
+  DenseLayer layer(2, 1, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.forward(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(DenseLayerTest, BackwardBeforeForwardThrows) {
+  util::Rng rng(1);
+  DenseLayer layer(2, 1, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.backward(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(DenseLayerTest, ZeroGradClearsAccumulators) {
+  util::Rng rng(1);
+  DenseLayer layer(2, 2, Activation::kSigmoid, rng);
+  layer.forward(std::vector<double>{1.0, -1.0});
+  layer.backward(std::vector<double>{0.3, -0.2});
+  layer.zero_grad();
+  for (double g : layer.grad_weights().flat()) EXPECT_DOUBLE_EQ(g, 0.0);
+  for (double g : layer.grad_bias()) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+// Numerical gradient check: the analytic weight/bias/input gradients of a
+// sigmoid layer under 0.5*(t - g)^2 loss must match central differences.
+TEST(DenseLayerTest, GradientsMatchFiniteDifferences) {
+  util::Rng rng(42);
+  DenseLayer layer(3, 2, Activation::kSigmoid, rng);
+  const std::vector<double> input{0.3, -0.7, 1.1};
+  const std::vector<double> target{0.6, 0.2};
+
+  auto loss_of = [&](DenseLayer& l) {
+    const Vector out = l.forward(input);
+    return mse(out, target);
+  };
+
+  // Analytic gradients.
+  layer.zero_grad();
+  const Vector out = layer.forward(input);
+  Vector grad(out.size());
+  mse_gradient(out, target, grad);
+  const Vector input_grad = layer.backward(grad);
+
+  const double h = 1e-6;
+  // Weights.
+  for (std::size_t r = 0; r < layer.outputs(); ++r) {
+    for (std::size_t c = 0; c < layer.inputs(); ++c) {
+      const double orig = layer.weights()(r, c);
+      layer.weights()(r, c) = orig + h;
+      const double lp = loss_of(layer);
+      layer.weights()(r, c) = orig - h;
+      const double lm = loss_of(layer);
+      layer.weights()(r, c) = orig;
+      EXPECT_NEAR(layer.grad_weights()(r, c), (lp - lm) / (2 * h), 1e-6)
+          << "weight (" << r << "," << c << ")";
+    }
+  }
+  // Biases.
+  for (std::size_t r = 0; r < layer.outputs(); ++r) {
+    const double orig = layer.bias()[r];
+    layer.bias()[r] = orig + h;
+    const double lp = loss_of(layer);
+    layer.bias()[r] = orig - h;
+    const double lm = loss_of(layer);
+    layer.bias()[r] = orig;
+    EXPECT_NEAR(layer.grad_bias()[r], (lp - lm) / (2 * h), 1e-6)
+        << "bias " << r;
+  }
+  // Inputs (Eq. 7 back-propagated error terms).
+  for (std::size_t c = 0; c < layer.inputs(); ++c) {
+    std::vector<double> ip = input, im = input;
+    ip[c] += h;
+    im[c] -= h;
+    const double lp = mse(layer.forward(ip), target);
+    const double lm = mse(layer.forward(im), target);
+    EXPECT_NEAR(input_grad[c], (lp - lm) / (2 * h), 1e-6) << "input " << c;
+  }
+}
+
+TEST(DenseLayerTest, GradientsAccumulateAcrossSamples) {
+  util::Rng rng(5);
+  DenseLayer layer(2, 1, Activation::kIdentity, rng);
+  layer.zero_grad();
+  layer.forward(std::vector<double>{1.0, 0.0});
+  layer.backward(std::vector<double>{1.0});
+  const double after_one = layer.grad_weights()(0, 0);
+  layer.forward(std::vector<double>{1.0, 0.0});
+  layer.backward(std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(layer.grad_weights()(0, 0), 2.0 * after_one);
+}
+
+}  // namespace
+}  // namespace corp::dnn

@@ -1,0 +1,69 @@
+#include "dnn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corp::dnn {
+namespace {
+
+TEST(LossTest, MseKnownValue) {
+  const std::vector<double> pred{1.0, 2.0};
+  const std::vector<double> target{0.0, 4.0};
+  // 0.5 * ((1)^2 + (2)^2) / 2 = 1.25
+  EXPECT_DOUBLE_EQ(mse(pred, target), 1.25);
+}
+
+TEST(LossTest, MseZeroWhenEqual) {
+  const std::vector<double> v{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mse(v, v), 0.0);
+}
+
+TEST(LossTest, MseRejectsBadInputs) {
+  EXPECT_THROW(mse(std::vector<double>{1.0}, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(mse(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(LossTest, GradientSignConvention) {
+  // d(0.5(t-g)^2)/dg = (g - t) / n: prediction above target -> positive.
+  const std::vector<double> pred{2.0};
+  const std::vector<double> target{1.0};
+  std::vector<double> grad(1);
+  mse_gradient(pred, target, grad);
+  EXPECT_DOUBLE_EQ(grad[0], 1.0);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  const std::vector<double> target{0.3, -0.7, 1.2};
+  std::vector<double> pred{0.1, 0.5, -0.4};
+  std::vector<double> grad(3);
+  mse_gradient(pred, target, grad);
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    std::vector<double> p = pred, m = pred;
+    p[i] += h;
+    m[i] -= h;
+    const double fd = (mse(p, target) - mse(m, target)) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-6);
+  }
+}
+
+TEST(LossTest, GradientSizeMismatchThrows) {
+  std::vector<double> grad(2);
+  EXPECT_THROW(mse_gradient(std::vector<double>{1.0},
+                            std::vector<double>{1.0}, grad),
+               std::invalid_argument);
+}
+
+TEST(LossTest, MaeLoss) {
+  const std::vector<double> pred{1.0, -1.0};
+  const std::vector<double> target{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(mae_loss(pred, target), 1.5);
+  EXPECT_THROW(mae_loss(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corp::dnn

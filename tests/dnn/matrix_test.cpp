@@ -1,0 +1,118 @@
+#include "dnn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::dnn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, EmptyDefault) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 2);
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  auto row = m.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 0, -1]^T = [-2, -2]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const Vector y = m.multiply(std::vector<double>{1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(m.multiply_transposed(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(MatrixTest, MultiplyTransposedMatchesExplicitTranspose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  // m^T * [1, 2]^T = [9, 12, 15]
+  const Vector y = m.multiply_transposed(std::vector<double>{1.0, 2.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MatrixTest, AddOuterAccumulates) {
+  Matrix m(2, 2, 0.0);
+  m.add_outer(std::vector<double>{1.0, 2.0}, std::vector<double>{3.0, 4.0},
+              0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, AddOuterShapeMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(
+      m.add_outer(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}, 1.0),
+      std::invalid_argument);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(1, 2, 1.0);
+  Matrix b(1, 2, 2.0);
+  a.add_scaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+  Matrix wrong(2, 1);
+  EXPECT_THROW(a.add_scaled(wrong, 1.0), std::invalid_argument);
+}
+
+TEST(MatrixTest, XavierWithinLimit) {
+  util::Rng rng(3);
+  const Matrix m = Matrix::xavier(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (double x : m.flat()) {
+    EXPECT_GE(x, -limit);
+    EXPECT_LE(x, limit);
+  }
+}
+
+TEST(MatrixTest, XavierNotAllZero) {
+  util::Rng rng(3);
+  const Matrix m = Matrix::xavier(5, 5, rng);
+  double sum_abs = 0.0;
+  for (double x : m.flat()) sum_abs += std::abs(x);
+  EXPECT_GT(sum_abs, 0.0);
+}
+
+TEST(VectorOpsTest, AxpyAndDot) {
+  std::vector<double> y{1.0, 2.0};
+  axpy(2.0, std::vector<double>{3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(
+      dot(std::vector<double>{1.0, 2.0}, std::vector<double>{3.0, 4.0}),
+      11.0);
+}
+
+}  // namespace
+}  // namespace corp::dnn

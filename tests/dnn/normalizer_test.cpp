@@ -1,0 +1,70 @@
+#include "dnn/normalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corp::dnn {
+namespace {
+
+TEST(NormalizerTest, FitLearnsRange) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{2.0, 8.0, 5.0});
+  EXPECT_TRUE(norm.fitted());
+  EXPECT_DOUBLE_EQ(norm.min(), 2.0);
+  EXPECT_DOUBLE_EQ(norm.max(), 8.0);
+}
+
+TEST(NormalizerTest, TransformMapsToUnitInterval) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{0.0, 10.0});
+  EXPECT_DOUBLE_EQ(norm.transform(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.transform(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(norm.transform(5.0), 0.5);
+}
+
+TEST(NormalizerTest, InverseRoundTrips) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{-3.0, 7.0});
+  for (double x : {-3.0, -1.0, 0.0, 2.5, 7.0}) {
+    EXPECT_NEAR(norm.inverse(norm.transform(x)), x, 1e-12);
+  }
+}
+
+TEST(NormalizerTest, OutOfRangeExtrapolates) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{0.0, 10.0});
+  EXPECT_DOUBLE_EQ(norm.transform(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(norm.inverse(-0.5), -5.0);
+}
+
+TEST(NormalizerTest, DegenerateRangeMapsToHalf) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{4.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(norm.transform(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(norm.inverse(0.7), 4.0);
+}
+
+TEST(NormalizerTest, UnfittedThrows) {
+  MinMaxNormalizer norm;
+  EXPECT_THROW(norm.transform(1.0), std::logic_error);
+  EXPECT_THROW(norm.inverse(0.5), std::logic_error);
+}
+
+TEST(NormalizerTest, EmptyFitThrows) {
+  MinMaxNormalizer norm;
+  EXPECT_THROW(norm.fit({}), std::invalid_argument);
+}
+
+TEST(NormalizerTest, BatchTransforms) {
+  MinMaxNormalizer norm;
+  norm.fit(std::vector<double>{0.0, 4.0});
+  const auto ys = norm.transform(std::vector<double>{1.0, 2.0});
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.25);
+  const auto xs = norm.inverse(ys);
+  EXPECT_DOUBLE_EQ(xs[1], 2.0);
+}
+
+}  // namespace
+}  // namespace corp::dnn

@@ -1,0 +1,102 @@
+#include "dnn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/loss.hpp"
+#include "dnn/network.hpp"
+
+namespace corp::dnn {
+namespace {
+
+TEST(SgdOptimizerTest, AppliesScaledGradient) {
+  util::Rng rng(1);
+  DenseLayer layer(1, 1, Activation::kIdentity, rng);
+  layer.weights()(0, 0) = 1.0;
+  layer.bias()[0] = 0.0;
+  layer.grad_weights()(0, 0) = 2.0;
+  layer.grad_bias()[0] = 4.0;
+  SgdOptimizer opt(0.1);
+  opt.bind({&layer});
+  opt.step();
+  EXPECT_NEAR(layer.weights()(0, 0), 1.0 - 0.1 * 2.0, 1e-12);
+  EXPECT_NEAR(layer.bias()[0], -0.4, 1e-12);
+}
+
+TEST(SgdOptimizerTest, MomentumAccumulatesVelocity) {
+  util::Rng rng(1);
+  DenseLayer layer(1, 1, Activation::kIdentity, rng);
+  layer.weights()(0, 0) = 0.0;
+  layer.grad_weights()(0, 0) = 1.0;
+  SgdOptimizer opt(0.1, 0.9);
+  opt.bind({&layer});
+  opt.step();  // v = -0.1, w = -0.1
+  opt.step();  // v = -0.9*0.1 - 0.1 = -0.19, w = -0.29
+  EXPECT_NEAR(layer.weights()(0, 0), -0.29, 1e-12);
+}
+
+TEST(SgdOptimizerTest, RejectsBadHyperparameters) {
+  EXPECT_THROW(SgdOptimizer(0.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(-1.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(0.1, -0.1), std::invalid_argument);
+}
+
+TEST(AdamOptimizerTest, RejectsBadLearningRate) {
+  EXPECT_THROW(AdamOptimizer(0.0), std::invalid_argument);
+}
+
+TEST(AdamOptimizerTest, FirstStepMovesByLearningRate) {
+  util::Rng rng(1);
+  DenseLayer layer(1, 1, Activation::kIdentity, rng);
+  layer.weights()(0, 0) = 0.0;
+  layer.grad_weights()(0, 0) = 5.0;  // any positive gradient
+  AdamOptimizer opt(0.01);
+  opt.bind({&layer});
+  opt.step();
+  // Bias-corrected Adam's first step is ~ -lr * sign(gradient).
+  EXPECT_NEAR(layer.weights()(0, 0), -0.01, 1e-6);
+}
+
+// Both optimizers must drive a tiny regression problem to low loss.
+class OptimizerConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerConvergenceTest, LearnsLinearFunction) {
+  util::Rng rng(7);
+  NetworkConfig config;
+  config.input_size = 2;
+  config.hidden_layers = 1;
+  config.hidden_units = 8;
+  config.output_size = 1;
+  config.hidden_activation = Activation::kTanh;
+  Network net(config, rng);
+
+  std::unique_ptr<Optimizer> opt;
+  if (GetParam() == 0) {
+    opt = std::make_unique<SgdOptimizer>(0.05);
+  } else if (GetParam() == 1) {
+    opt = std::make_unique<SgdOptimizer>(0.02, 0.9);
+  } else {
+    opt = std::make_unique<AdamOptimizer>(0.01);
+  }
+  opt->bind(net.layer_pointers());
+
+  // Target: y = 0.3 x0 - 0.2 x1 + 0.1
+  auto target_fn = [](double a, double b) { return 0.3 * a - 0.2 * b + 0.1; };
+  util::Rng data_rng(11);
+  double final_loss = 1.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    const double a = data_rng.uniform(-1, 1);
+    const double b = data_rng.uniform(-1, 1);
+    net.zero_grad();
+    final_loss = net.train_sample(std::vector<double>{a, b},
+                                  std::vector<double>{target_fn(a, b)});
+    opt->step();
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergenceTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace corp::dnn

@@ -1,0 +1,144 @@
+#include "dnn/parallel_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corp::dnn {
+namespace {
+
+Dataset sine_dataset(std::size_t n) {
+  std::vector<double> series;
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push_back(0.5 + 0.4 * std::sin(0.3 * static_cast<double>(i)));
+  }
+  return make_windowed_dataset(series, 6, 2);
+}
+
+NetworkConfig small_net() {
+  NetworkConfig config;
+  config.input_size = 6;
+  config.hidden_layers = 2;
+  config.hidden_units = 10;
+  return config;
+}
+
+TEST(ParallelTrainerTest, RejectsZeroBatch) {
+  util::Rng rng(1);
+  ParallelTrainerConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(ParallelTrainer(config, rng), std::invalid_argument);
+}
+
+TEST(ParallelTrainerTest, EmptyDatasetNoop) {
+  util::Rng rng(1);
+  ParallelTrainer trainer({}, rng);
+  Network net(small_net(), rng);
+  SgdOptimizer opt(0.1);
+  const TrainReport report = trainer.fit(net, opt, Dataset{});
+  EXPECT_EQ(report.epochs_run, 0u);
+}
+
+TEST(ParallelTrainerTest, InconsistentDatasetThrows) {
+  util::Rng rng(1);
+  ParallelTrainer trainer({}, rng);
+  Network net(small_net(), rng);
+  SgdOptimizer opt(0.1);
+  Dataset bad;
+  bad.inputs.push_back({1.0});
+  EXPECT_THROW(trainer.fit(net, opt, bad), std::invalid_argument);
+}
+
+TEST(ParallelTrainerTest, ReducesValidationLoss) {
+  util::Rng rng(3);
+  ParallelTrainerConfig config;
+  config.workers = 2;
+  config.max_epochs = 40;
+  ParallelTrainer trainer(config, rng);
+  Network net(small_net(), rng);
+  SgdOptimizer opt(0.3);  // batch-averaged gradients take a larger rate
+  const Dataset data = sine_dataset(300);
+  const double before = Trainer::evaluate(net, data);
+  const TrainReport report = trainer.fit(net, opt, data);
+  const double after = Trainer::evaluate(net, data);
+  EXPECT_LT(after, before);
+  EXPECT_LT(report.best_validation_loss, before);
+}
+
+TEST(ParallelTrainerTest, SingleWorkerMatchesQualityBand) {
+  // One worker and four workers should land in a similar quality band on
+  // the same problem (not bit-identical: batching/order differ).
+  const Dataset data = sine_dataset(400);
+  auto run = [&](std::size_t workers) {
+    util::Rng rng(7);
+    ParallelTrainerConfig config;
+    config.workers = workers;
+    config.max_epochs = 30;
+    ParallelTrainer trainer(config, rng);
+    Network net(small_net(), rng);
+    SgdOptimizer opt(0.3);
+    return trainer.fit(net, opt, data).best_validation_loss;
+  };
+  const double one = run(1);
+  const double four = run(4);
+  EXPECT_LT(one, 0.03);
+  EXPECT_LT(four, 0.03);
+}
+
+TEST(ParallelTrainerTest, GradientReductionMatchesSerialBatch) {
+  // One synchronous batch with 2 workers must produce the same parameter
+  // update as serially accumulating the whole batch and stepping once
+  // (same initial weights, no shuffle).
+  const Dataset data = [] {
+    Dataset d;
+    for (int i = 0; i < 8; ++i) {
+      d.inputs.push_back(Vector(6, 0.1 * i));
+      d.targets.push_back({0.05 * i});
+    }
+    return d;
+  }();
+
+  // Serial reference: average gradient over the batch, one step.
+  util::Rng rng_a(11);
+  Network serial(small_net(), rng_a);
+  SgdOptimizer opt_serial(0.1);
+  opt_serial.bind(serial.layer_pointers());
+  serial.zero_grad();
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    serial.train_sample(data.inputs[s], data.targets[s]);
+  }
+  // Scale accumulated gradients to the batch average.
+  for (std::size_t li = 0; li < serial.layer_count(); ++li) {
+    auto flat = serial.layer(li).grad_weights().flat();
+    for (double& g : flat) g /= static_cast<double>(data.size());
+    for (double& g : serial.layer(li).grad_bias()) {
+      g /= static_cast<double>(data.size());
+    }
+  }
+  opt_serial.step();
+
+  // Parallel: one epoch, batch = whole dataset, no shuffle, no patience.
+  util::Rng rng_b(11);
+  Network parallel(small_net(), rng_b);
+  SgdOptimizer opt_parallel(0.1);
+  ParallelTrainerConfig config;
+  config.workers = 2;
+  config.batch_size = data.size();
+  config.max_epochs = 1;
+  config.shuffle = false;
+  config.validation_fraction = 0.0;
+  util::Rng trainer_rng(13);
+  ParallelTrainer trainer(config, trainer_rng);
+  trainer.fit(parallel, opt_parallel, data);
+
+  for (std::size_t li = 0; li < serial.layer_count(); ++li) {
+    const auto sa = serial.layer(li).weights().flat();
+    const auto pa = parallel.layer(li).weights().flat();
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_NEAR(sa[i], pa[i], 1e-10) << "layer " << li << " w" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corp::dnn

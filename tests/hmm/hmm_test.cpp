@@ -1,0 +1,181 @@
+#include "hmm/hmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corp::hmm {
+namespace {
+
+/// A crisp 2-state, 2-symbol model: state i emits symbol i with p=0.9 and
+/// states are sticky (p=0.8 self-transition).
+HmmParams crisp_params() {
+  HmmParams p;
+  p.transition = {{0.8, 0.2}, {0.2, 0.8}};
+  p.emission = {{0.9, 0.1}, {0.1, 0.9}};
+  p.initial = {0.5, 0.5};
+  return p;
+}
+
+TEST(HmmParamsTest, ValidAcceptsStochastic) {
+  EXPECT_TRUE(crisp_params().valid());
+}
+
+TEST(HmmParamsTest, ValidRejectsBadRows) {
+  HmmParams p = crisp_params();
+  p.transition[0] = {0.5, 0.6};
+  EXPECT_FALSE(p.valid());
+  p = crisp_params();
+  p.emission[1] = {-0.1, 1.1};
+  EXPECT_FALSE(p.valid());
+  p = crisp_params();
+  p.initial = {1.0};
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(DiscreteHmmTest, RandomInitIsValid) {
+  util::Rng rng(3);
+  DiscreteHmm hmm(3, 3, rng);
+  EXPECT_TRUE(hmm.params().valid());
+  EXPECT_EQ(hmm.num_states(), 3u);
+  EXPECT_EQ(hmm.num_symbols(), 3u);
+}
+
+TEST(DiscreteHmmTest, ConstructionRejectsInvalid) {
+  util::Rng rng(3);
+  EXPECT_THROW(DiscreteHmm(0, 2, rng), std::invalid_argument);
+  HmmParams bad = crisp_params();
+  bad.initial = {0.9, 0.9};
+  EXPECT_THROW(DiscreteHmm{bad}, std::invalid_argument);
+}
+
+TEST(DiscreteHmmTest, ForwardLikelihoodMatchesBruteForce) {
+  // For a short sequence, sum P(O, Q) over all state paths by hand.
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0, 1};
+  double total = 0.0;
+  const auto& p = hmm.params();
+  for (std::size_t q0 = 0; q0 < 2; ++q0) {
+    for (std::size_t q1 = 0; q1 < 2; ++q1) {
+      total += p.initial[q0] * p.emission[q0][0] * p.transition[q0][q1] *
+               p.emission[q1][1];
+    }
+  }
+  EXPECT_NEAR(hmm.log_likelihood(obs), std::log(total), 1e-10);
+}
+
+TEST(DiscreteHmmTest, ForwardRejectsBadObservations) {
+  const DiscreteHmm hmm(crisp_params());
+  EXPECT_THROW(hmm.forward(std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(hmm.forward(std::vector<std::size_t>{5}),
+               std::invalid_argument);
+}
+
+TEST(DiscreteHmmTest, PosteriorRowsSumToOne) {
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0, 0, 1, 1, 0};
+  const auto gamma = hmm.posterior_states(obs);
+  ASSERT_EQ(gamma.size(), obs.size());
+  for (const auto& row : gamma) {
+    double sum = 0.0;
+    for (double g : row) sum += g;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DiscreteHmmTest, PosteriorTracksEmittingState) {
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0, 0, 0, 1, 1, 1};
+  const auto gamma = hmm.posterior_states(obs);
+  EXPECT_GT(gamma[1][0], 0.8);  // early slots -> state 0
+  EXPECT_GT(gamma[4][1], 0.8);  // late slots -> state 1
+}
+
+TEST(DiscreteHmmTest, ViterbiDecodesCrispSequence) {
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0, 0, 0, 1, 1, 1};
+  const auto path = hmm.viterbi(obs);
+  ASSERT_EQ(path.size(), obs.size());
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 0u);
+  EXPECT_EQ(path[4], 1u);
+  EXPECT_EQ(path[5], 1u);
+}
+
+TEST(DiscreteHmmTest, ViterbiHandlesSingleObservation) {
+  const DiscreteHmm hmm(crisp_params());
+  const auto path = hmm.viterbi(std::vector<std::size_t>{1});
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(DiscreteHmmTest, BaumWelchIncreasesLikelihood) {
+  util::Rng rng(7);
+  // Generate observations from the crisp model, then train a random HMM.
+  const DiscreteHmm truth(crisp_params());
+  std::vector<std::size_t> obs;
+  std::size_t state = 0;
+  for (int t = 0; t < 400; ++t) {
+    obs.push_back(rng.bernoulli(truth.params().emission[state][1]) ? 1 : 0);
+    state = rng.bernoulli(truth.params().transition[state][1]) ? 1 : 0;
+  }
+  DiscreteHmm learner(2, 2, rng);
+  const double before = learner.log_likelihood(obs);
+  const BaumWelchReport report = learner.baum_welch(obs, 60, 1e-7);
+  const double after = learner.log_likelihood(obs);
+  EXPECT_GT(after, before);
+  EXPECT_GT(report.iterations, 0u);
+  EXPECT_TRUE(learner.params().valid(1e-6));
+}
+
+TEST(DiscreteHmmTest, BaumWelchMonotoneOverIterations) {
+  util::Rng rng(9);
+  std::vector<std::size_t> obs;
+  for (int t = 0; t < 200; ++t) obs.push_back((t / 7) % 2);
+  DiscreteHmm a(2, 2, rng);
+  DiscreteHmm b = a;
+  a.baum_welch(obs, 3, 0.0);
+  b.baum_welch(obs, 10, 0.0);
+  EXPECT_GE(b.log_likelihood(obs) + 1e-9, a.log_likelihood(obs));
+}
+
+TEST(DiscreteHmmTest, NextSymbolDistributionIsDistribution) {
+  const DiscreteHmm hmm(crisp_params());
+  const auto dist =
+      hmm.next_symbol_distribution(std::vector<std::size_t>{0, 0, 1});
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DiscreteHmmTest, PredictsStickyNextSymbol) {
+  // Sticky states + crisp emissions: after a run of 1s the next symbol is
+  // most likely 1 (Eq. 17).
+  const DiscreteHmm hmm(crisp_params());
+  EXPECT_EQ(hmm.predict_next_symbol(std::vector<std::size_t>{1, 1, 1, 1}),
+            1u);
+  EXPECT_EQ(hmm.predict_next_symbol(std::vector<std::size_t>{0, 0, 0, 0}),
+            0u);
+}
+
+TEST(DiscreteHmmTest, ScaledForwardStableOnLongSequences) {
+  const DiscreteHmm hmm(crisp_params());
+  std::vector<std::size_t> obs(5000, 0);
+  const double ll = hmm.log_likelihood(obs);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, 0.0);
+}
+
+TEST(DiscreteHmmTest, BackwardScaleMismatchThrows) {
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0, 1};
+  EXPECT_THROW(hmm.backward(obs, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corp::hmm

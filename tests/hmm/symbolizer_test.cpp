@@ -1,0 +1,87 @@
+#include "hmm/symbolizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corp::hmm {
+namespace {
+
+TEST(SymbolizerTest, FitLearnsStatistics) {
+  FluctuationSymbolizer sym;
+  sym.fit(std::vector<double>{0.0, 2.0, 4.0});
+  EXPECT_TRUE(sym.fitted());
+  EXPECT_DOUBLE_EQ(sym.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sym.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(sym.max(), 4.0);
+}
+
+TEST(SymbolizerTest, ThresholdsPerPaperFormula) {
+  FluctuationSymbolizer sym;
+  sym.fit(std::vector<double>{0.0, 2.0, 4.0});
+  // t1 = min + (mean - min)/2 = 1; t2 = mean + (max - mean)/2 = 3.
+  EXPECT_DOUBLE_EQ(sym.lower_threshold(), 1.0);
+  EXPECT_DOUBLE_EQ(sym.upper_threshold(), 3.0);
+}
+
+TEST(SymbolizerTest, SymbolMapping) {
+  FluctuationSymbolizer sym;
+  sym.fit(std::vector<double>{0.0, 2.0, 4.0});
+  // Small range -> valley; mid -> center; large -> peak (Sec. III-A1b).
+  EXPECT_EQ(sym.symbolize_range(0.5), FluctuationSymbol::kValley);
+  EXPECT_EQ(sym.symbolize_range(1.0), FluctuationSymbol::kValley);  // <= t1
+  EXPECT_EQ(sym.symbolize_range(2.0), FluctuationSymbol::kCenter);
+  EXPECT_EQ(sym.symbolize_range(3.0), FluctuationSymbol::kPeak);  // >= t2
+  EXPECT_EQ(sym.symbolize_range(10.0), FluctuationSymbol::kPeak);
+}
+
+TEST(SymbolizerTest, ObservationSequenceFromSeries) {
+  FluctuationSymbolizer sym;
+  sym.fit(std::vector<double>{0.0, 2.0, 4.0});
+  // Windows of 2: ranges = |diff| per pair.
+  const std::vector<double> series{0.0, 0.5,   // range 0.5 -> valley
+                                   0.0, 2.0,   // range 2.0 -> center
+                                   0.0, 3.5};  // range 3.5 -> peak
+  const auto obs = sym.observation_sequence(series, 2);
+  ASSERT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs[0], static_cast<std::size_t>(FluctuationSymbol::kValley));
+  EXPECT_EQ(obs[1], static_cast<std::size_t>(FluctuationSymbol::kCenter));
+  EXPECT_EQ(obs[2], static_cast<std::size_t>(FluctuationSymbol::kPeak));
+}
+
+TEST(SymbolizerTest, CorrectionMagnitudeIsConservativeMin) {
+  FluctuationSymbolizer sym;
+  // Skewed distribution: mean closer to min.
+  sym.fit(std::vector<double>{0.0, 1.0, 1.0, 1.0, 5.0});
+  // mean = 1.6; max - mean = 3.4; mean - min = 1.6 -> min() = 1.6.
+  EXPECT_NEAR(sym.correction_magnitude(), 1.6, 1e-12);
+}
+
+TEST(SymbolizerTest, UnfittedThrows) {
+  FluctuationSymbolizer sym;
+  EXPECT_THROW(sym.lower_threshold(), std::logic_error);
+  EXPECT_THROW(sym.symbolize_range(1.0), std::logic_error);
+  EXPECT_THROW(sym.correction_magnitude(), std::logic_error);
+}
+
+TEST(SymbolizerTest, EmptyFitThrows) {
+  FluctuationSymbolizer sym;
+  EXPECT_THROW(sym.fit({}), std::invalid_argument);
+}
+
+TEST(SymbolizerTest, ConstantHistoryDegenerate) {
+  FluctuationSymbolizer sym;
+  sym.fit(std::vector<double>{3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(sym.correction_magnitude(), 0.0);
+  // All thresholds collapse to 3; a zero range <= t1 -> valley.
+  EXPECT_EQ(sym.symbolize_range(0.0), FluctuationSymbol::kValley);
+}
+
+TEST(SymbolizerTest, SymbolNames) {
+  EXPECT_EQ(fluctuation_symbol_name(FluctuationSymbol::kPeak), "peak");
+  EXPECT_EQ(fluctuation_symbol_name(FluctuationSymbol::kCenter), "center");
+  EXPECT_EQ(fluctuation_symbol_name(FluctuationSymbol::kValley), "valley");
+}
+
+}  // namespace
+}  // namespace corp::hmm

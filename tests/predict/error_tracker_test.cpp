@@ -1,0 +1,82 @@
+#include "predict/error_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corp::predict {
+namespace {
+
+TEST(ErrorTrackerTest, EmptyNeverUnlocks) {
+  PredictionErrorTracker tracker;
+  EXPECT_EQ(tracker.count(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.probability_within(1.0), 0.0);
+  EXPECT_FALSE(tracker.unlocked(1.0, 0.01));
+}
+
+TEST(ErrorTrackerTest, RecordsDeltaAsActualMinusPredicted) {
+  PredictionErrorTracker tracker;
+  tracker.record(5.0, 3.0);  // delta = +2
+  EXPECT_EQ(tracker.count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.mean(), 2.0);
+}
+
+TEST(ErrorTrackerTest, ProbabilityWithinCountsHalfOpenInterval) {
+  PredictionErrorTracker tracker;
+  tracker.record(1.0, 1.0);   // delta = 0 -> within [0, eps)
+  tracker.record(1.5, 1.0);   // delta = 0.5 -> within
+  tracker.record(3.0, 1.0);   // delta = 2 -> outside
+  tracker.record(0.0, 1.0);   // delta = -1 -> outside (negative)
+  EXPECT_DOUBLE_EQ(tracker.probability_within(1.0), 0.5);
+}
+
+TEST(ErrorTrackerTest, EpsilonBoundaryIsExclusive) {
+  PredictionErrorTracker tracker;
+  tracker.record(2.0, 1.0);  // delta = 1.0
+  EXPECT_DOUBLE_EQ(tracker.probability_within(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.probability_within(1.0 + 1e-9), 1.0);
+}
+
+TEST(ErrorTrackerTest, UnlockedImplementsEq21) {
+  PredictionErrorTracker tracker;
+  for (int i = 0; i < 95; ++i) tracker.record(1.1, 1.0);  // within
+  for (int i = 0; i < 5; ++i) tracker.record(9.0, 1.0);   // outside
+  EXPECT_TRUE(tracker.unlocked(0.5, 0.95));
+  EXPECT_FALSE(tracker.unlocked(0.5, 0.96));
+}
+
+TEST(ErrorTrackerTest, StdDevMatchesSample) {
+  PredictionErrorTracker tracker;
+  tracker.record(2.0, 0.0);
+  tracker.record(4.0, 0.0);
+  // deltas {2, 4}: sample sd = sqrt(2).
+  EXPECT_NEAR(tracker.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(ErrorTrackerTest, StdDevZeroWithFewSamples) {
+  PredictionErrorTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.stddev(), 0.0);
+  tracker.record(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.stddev(), 0.0);
+}
+
+TEST(ErrorTrackerTest, CapacityEvictsOldest) {
+  PredictionErrorTracker tracker(3);
+  tracker.record(10.0, 0.0);  // will be evicted
+  tracker.record(1.0, 0.0);
+  tracker.record(1.0, 0.0);
+  tracker.record(1.0, 0.0);
+  EXPECT_EQ(tracker.count(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.mean(), 1.0);
+}
+
+TEST(ErrorTrackerTest, ResetClears) {
+  PredictionErrorTracker tracker;
+  tracker.record(1.0, 0.0);
+  tracker.reset();
+  EXPECT_EQ(tracker.count(), 0u);
+  EXPECT_FALSE(tracker.unlocked(10.0, 0.0001));
+}
+
+}  // namespace
+}  // namespace corp::predict

@@ -1,0 +1,96 @@
+#include "predict/vector_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace corp::predict {
+namespace {
+
+VectorCorpus small_corpus(std::uint64_t seed) {
+  util::Rng rng(seed);
+  VectorCorpus corpus;
+  for (int s = 0; s < 3; ++s) {
+    std::vector<ResourceVector> series;
+    for (int i = 0; i < 150; ++i) {
+      const double u = 0.5 + 0.2 * std::sin(0.3 * i) +
+                       rng.normal(0.0, 0.03);
+      series.push_back(ResourceVector(u, u * 0.9, u * 1.1));
+    }
+    corpus.add_series(series);
+  }
+  return corpus;
+}
+
+TEST(VectorCorpusTest, AddSeriesSplitsPerType) {
+  VectorCorpus corpus;
+  std::vector<ResourceVector> series{ResourceVector(1, 2, 3),
+                                     ResourceVector(4, 5, 6)};
+  corpus.add_series(series);
+  EXPECT_FALSE(corpus.empty());
+  ASSERT_EQ(corpus.per_type[0].size(), 1u);
+  EXPECT_EQ(corpus.per_type[0][0], (std::vector<double>{1, 4}));
+  EXPECT_EQ(corpus.per_type[2][0], (std::vector<double>{3, 6}));
+}
+
+TEST(VectorCorpusTest, EmptyDetection) {
+  VectorCorpus corpus;
+  EXPECT_TRUE(corpus.empty());
+}
+
+TEST(VectorPredictorTest, PredictsPerType) {
+  util::Rng rng(3);
+  StackConfig config;
+  VectorPredictor predictor(Method::kDra, config, rng);
+  predictor.train(small_corpus(5));
+
+  std::array<std::vector<double>, kNumResources> history;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    history[r].assign(12, 0.5 * (1.0 + 0.1 * static_cast<double>(r)));
+  }
+  const ResourceVector pred = predictor.predict(history);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    EXPECT_TRUE(std::isfinite(pred[r]));
+    EXPECT_GE(pred[r], 0.0);
+  }
+  // The sliding mean tracks each type's own level.
+  EXPECT_NEAR(pred[0], 0.5, 0.05);
+  EXPECT_NEAR(pred[2], 0.6, 0.06);
+}
+
+TEST(VectorPredictorTest, MethodAccessor) {
+  util::Rng rng(3);
+  VectorPredictor predictor(Method::kRccr, StackConfig{}, rng);
+  EXPECT_EQ(predictor.method(), Method::kRccr);
+  EXPECT_EQ(predictor.stack(0).name(), "rccr");
+}
+
+TEST(VectorPredictorTest, UnlockedRequiresAllStacks) {
+  util::Rng rng(7);
+  StackConfig config;
+  config.probability_threshold = 0.0;  // each stack opens once seeded
+  VectorPredictor predictor(Method::kRccr, config, rng);
+  predictor.train(small_corpus(7));
+  EXPECT_TRUE(predictor.unlocked());
+}
+
+TEST(VectorPredictorTest, DraNeverUnlocked) {
+  util::Rng rng(7);
+  StackConfig config;
+  config.probability_threshold = 0.0;
+  VectorPredictor predictor(Method::kDra, config, rng);
+  predictor.train(small_corpus(7));
+  EXPECT_FALSE(predictor.unlocked());
+}
+
+TEST(VectorPredictorTest, RecordOutcomeFeedsAllStacks) {
+  util::Rng rng(9);
+  VectorPredictor predictor(Method::kDra, StackConfig{}, rng);
+  predictor.train(small_corpus(9));
+  predictor.record_outcome(ResourceVector(0.5, 0.5, 0.5),
+                           ResourceVector(0.4, 0.4, 0.4));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace corp::predict

@@ -1,0 +1,129 @@
+#include "sched/packing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::sched {
+namespace {
+
+Job make_job(std::uint64_t id, double cpu, double mem, double sto) {
+  Job job;
+  job.id = id;
+  job.duration_slots = 1;
+  job.request = ResourceVector(cpu, mem, sto);
+  job.usage.assign(1, ResourceVector(cpu / 2, mem / 2, sto / 2));
+  return job;
+}
+
+TEST(DeviationTest, MatchesPaperExample) {
+  // Sec. III-B's Fig. 5 narrative: DV(job3, job4) = 25, DV(job3, job5)=16
+  // for demands with pairwise differences 5 and 4 on two resource types
+  // (each difference d contributes 2*(d/2)^2 = d^2/2 per type).
+  // Construct vectors reproducing DV = 25 and 16:
+  // |a-b| per type: (5, 5, 0) -> DV = 25; (4, 4, 0) -> DV = 16.
+  EXPECT_DOUBLE_EQ(
+      demand_deviation(ResourceVector(5, 0, 1), ResourceVector(0, 5, 1)),
+      25.0);
+  EXPECT_DOUBLE_EQ(
+      demand_deviation(ResourceVector(4, 0, 1), ResourceVector(0, 4, 1)),
+      16.0);
+}
+
+TEST(DeviationTest, SymmetricAndZeroOnEqual) {
+  const ResourceVector a(1, 2, 3), b(3, 1, 2);
+  EXPECT_DOUBLE_EQ(demand_deviation(a, b), demand_deviation(b, a));
+  EXPECT_DOUBLE_EQ(demand_deviation(a, a), 0.0);
+}
+
+TEST(PackingTest, PairsComplementaryDominants) {
+  const Job cpu_job = make_job(1, 8.0, 1.0, 1.0);
+  const Job mem_job = make_job(2, 1.0, 8.0, 1.0);
+  const std::vector<const Job*> batch{&cpu_job, &mem_job};
+  const auto entities = pack_jobs(batch);
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_TRUE(entities[0].packed());
+  EXPECT_EQ(entities[0].demand, ResourceVector(9.0, 9.0, 2.0));
+}
+
+TEST(PackingTest, SameDominantNeverPacked) {
+  const Job a = make_job(1, 8.0, 1.0, 1.0);
+  const Job b = make_job(2, 6.0, 1.0, 1.0);
+  const std::vector<const Job*> batch{&a, &b};
+  const auto entities = pack_jobs(batch);
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_FALSE(entities[0].packed());
+  EXPECT_FALSE(entities[1].packed());
+}
+
+TEST(PackingTest, PicksHighestDeviationPartner) {
+  // job1 (cpu) can pair with job2 (mem, small) or job3 (mem, large):
+  // the larger complementary demand yields the larger DV.
+  const Job cpu_job = make_job(1, 8.0, 1.0, 1.0);
+  const Job small_mem = make_job(2, 1.0, 3.0, 1.0);
+  const Job big_mem = make_job(3, 1.0, 9.0, 1.0);
+  const std::vector<const Job*> batch{&cpu_job, &small_mem, &big_mem};
+  const auto entities = pack_jobs(batch);
+  ASSERT_EQ(entities.size(), 2u);
+  ASSERT_TRUE(entities[0].packed());
+  // cpu_job (index 0) pairs with big_mem (index 2).
+  EXPECT_EQ(entities[0].members, (std::vector<std::size_t>{0, 2}));
+  EXPECT_FALSE(entities[1].packed());
+}
+
+TEST(PackingTest, OddOneOutBecomesSingleton) {
+  const Job a = make_job(1, 8.0, 1.0, 1.0);
+  const Job b = make_job(2, 1.0, 8.0, 1.0);
+  const Job c = make_job(3, 7.0, 1.0, 1.0);
+  const std::vector<const Job*> batch{&a, &b, &c};
+  const auto entities = pack_jobs(batch);
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_TRUE(entities[0].packed());
+  EXPECT_FALSE(entities[1].packed());
+  EXPECT_EQ(entities[1].members[0], 2u);
+}
+
+TEST(PackingTest, EveryJobInExactlyOneEntity) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 21; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i),
+                            (i % 3 == 0) ? 8.0 : 1.0,
+                            (i % 3 == 1) ? 8.0 : 1.0,
+                            (i % 3 == 2) ? 8.0 : 1.0));
+  }
+  std::vector<const Job*> batch;
+  for (const Job& j : jobs) batch.push_back(&j);
+  const auto entities = pack_jobs(batch);
+  std::vector<int> seen(batch.size(), 0);
+  for (const auto& e : entities) {
+    EXPECT_GE(e.members.size(), 1u);
+    EXPECT_LE(e.members.size(), 2u);
+    for (std::size_t m : e.members) ++seen[m];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PackingTest, EntityDemandIsSumOfMembers) {
+  const Job a = make_job(1, 8.0, 1.0, 2.0);
+  const Job b = make_job(2, 1.0, 8.0, 3.0);
+  const std::vector<const Job*> batch{&a, &b};
+  const auto entities = pack_jobs(batch);
+  ASSERT_TRUE(entities[0].packed());
+  EXPECT_EQ(entities[0].demand, a.request + b.request);
+}
+
+TEST(PackingTest, EmptyBatch) {
+  EXPECT_TRUE(pack_jobs({}).empty());
+  EXPECT_TRUE(singleton_entities({}).empty());
+}
+
+TEST(PackingTest, SingletonEntitiesNeverPack) {
+  const Job a = make_job(1, 8.0, 1.0, 1.0);
+  const Job b = make_job(2, 1.0, 8.0, 1.0);
+  const std::vector<const Job*> batch{&a, &b};
+  const auto entities = singleton_entities(batch);
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_FALSE(entities[0].packed());
+  EXPECT_EQ(entities[0].demand, a.request);
+}
+
+}  // namespace
+}  // namespace corp::sched

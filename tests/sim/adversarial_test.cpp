@@ -1,0 +1,151 @@
+// Failure injection / adversarial inputs: degenerate traces that stress
+// the engine's corner cases. The invariant everywhere: no crash, no job
+// lost, metrics well-formed.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace corp::sim {
+namespace {
+
+using trace::Job;
+using trace::ResourceVector;
+
+Job flat_job(std::uint64_t id, std::int64_t submit, std::size_t duration,
+             const ResourceVector& request, double utilization) {
+  Job job;
+  job.id = id;
+  job.submit_slot = submit;
+  job.duration_slots = duration;
+  job.request = request;
+  job.usage.assign(duration, request * utilization);
+  return job;
+}
+
+trace::Trace training_trace() {
+  // Mild but non-degenerate history so every stack can train.
+  trace::GoogleTraceGenerator gen(scaled_generator_config(
+      cluster::EnvironmentConfig::PalmettoCluster(), 60, 60));
+  util::Rng rng(31);
+  return gen.generate(rng);
+}
+
+SimulationResult run_on(Method method, const trace::Trace& eval) {
+  SimulationConfig config;
+  config.method = method;
+  config.seed = 3;
+  config.grace_slots = 2000;
+  Simulation sim(std::move(config));
+  sim.train(training_trace());
+  return sim.run(eval);
+}
+
+class AdversarialTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(AdversarialTest, ZeroUtilizationJobs) {
+  // Jobs that demand (almost) nothing: unused == request throughout.
+  trace::Trace eval;
+  for (int i = 0; i < 12; ++i) {
+    eval.add(flat_job(static_cast<std::uint64_t>(i), i % 3, 5,
+                      ResourceVector(0.5, 1.0, 5.0), 0.0));
+  }
+  eval.sort();
+  const SimulationResult result = run_on(GetParam(), eval);
+  EXPECT_EQ(result.jobs_completed, eval.size());
+  EXPECT_EQ(result.jobs_violated, 0u);
+}
+
+TEST_P(AdversarialTest, FullUtilizationJobs) {
+  // Demand == request every slot: zero unused resource anywhere.
+  trace::Trace eval;
+  for (int i = 0; i < 12; ++i) {
+    eval.add(flat_job(static_cast<std::uint64_t>(i), i % 3, 5,
+                      ResourceVector(0.5, 1.0, 5.0), 1.0));
+  }
+  eval.sort();
+  const SimulationResult result = run_on(GetParam(), eval);
+  EXPECT_EQ(result.jobs_completed, eval.size());
+}
+
+TEST_P(AdversarialTest, SingleSlotJobs) {
+  trace::Trace eval;
+  for (int i = 0; i < 20; ++i) {
+    eval.add(flat_job(static_cast<std::uint64_t>(i), 0, 1,
+                      ResourceVector(0.3, 0.5, 2.0), 0.6));
+  }
+  eval.sort();
+  const SimulationResult result = run_on(GetParam(), eval);
+  EXPECT_EQ(result.jobs_completed, eval.size());
+}
+
+TEST_P(AdversarialTest, SingleHugeJob) {
+  // One job filling an entire VM.
+  const auto vm =
+      cluster::EnvironmentConfig::PalmettoCluster().vm_capacity();
+  trace::Trace eval;
+  eval.add(flat_job(1, 0, 10, vm * 0.95, 0.5));
+  eval.sort();
+  const SimulationResult result = run_on(GetParam(), eval);
+  EXPECT_EQ(result.jobs_completed, 1u);
+}
+
+TEST_P(AdversarialTest, UnplaceableJobEventuallyForced) {
+  // A job larger than any VM can never be placed; the grace cutoff must
+  // still account for it (as a violation) instead of spinning forever.
+  const auto vm =
+      cluster::EnvironmentConfig::PalmettoCluster().vm_capacity();
+  trace::Trace eval;
+  eval.add(flat_job(1, 0, 5, vm * 2.0, 0.5));
+  eval.add(flat_job(2, 0, 5, vm * 0.2, 0.5));
+  eval.sort();
+
+  SimulationConfig config;
+  config.method = GetParam();
+  config.seed = 3;
+  config.grace_slots = 30;
+  Simulation sim(std::move(config));
+  sim.train(training_trace());
+  const SimulationResult result = sim.run(eval);
+  EXPECT_EQ(result.jobs_completed, 2u);
+  EXPECT_EQ(result.jobs_forced, 1u);
+  EXPECT_GE(result.jobs_violated, 1u);
+}
+
+TEST_P(AdversarialTest, IdenticalJobStampede) {
+  // 60 byte-identical jobs at slot 0: placement must stay within
+  // capacity (VirtualMachine::commit throws on violation) and every job
+  // must finish.
+  trace::Trace eval;
+  for (int i = 0; i < 60; ++i) {
+    eval.add(flat_job(static_cast<std::uint64_t>(i), 0, 4,
+                      ResourceVector(0.4, 0.8, 4.0), 0.55));
+  }
+  eval.sort();
+  const SimulationResult result = run_on(GetParam(), eval);
+  EXPECT_EQ(result.jobs_completed, eval.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, AdversarialTest,
+    ::testing::Values(Method::kCorp, Method::kRccr, Method::kCloudScale,
+                      Method::kDra),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      return std::string(predict::method_name(info.param));
+    });
+
+TEST(AdversarialTrainingTest, ConstantHistoryTrainsEveryStack) {
+  // A constant training corpus (zero variance) must not crash any stack:
+  // normalizers degrade gracefully, the symbolizer's thresholds collapse,
+  // ETS and Markov see a single level.
+  predict::SeriesCorpus corpus{std::vector<double>(150, 0.5)};
+  util::Rng rng(7);
+  for (Method m : predict::kAllMethods) {
+    auto stack = predict::make_stack(m, predict::StackConfig{}, rng);
+    ASSERT_NO_THROW(stack->train(corpus)) << predict::method_name(m);
+    const double pred = stack->predict(std::vector<double>(20, 0.5));
+    EXPECT_TRUE(std::isfinite(pred)) << predict::method_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace corp::sim

@@ -1,0 +1,150 @@
+// End-to-end integration: one modest experiment point per method through
+// the full pipeline (trace generation -> training -> simulation ->
+// prediction evaluation), asserting the paper's qualitative orderings.
+//
+// These use a reduced workload so the whole suite stays fast; the full
+// figure regeneration lives in bench/.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "sim/experiment.hpp"
+
+namespace corp::sim {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig experiment;
+    experiment.environment = cluster::EnvironmentConfig::PalmettoCluster();
+    experiment.seed = 7;
+    experiment.training_jobs = 120;
+    experiment.training_horizon_slots = 160;
+    results_ = new std::map<Method, PointResult>();
+    for (Method m : predict::kAllMethods) {
+      (*results_)[m] = run_point(experiment, m, 150);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const PointResult& result(Method m) { return results_->at(m); }
+
+  static std::map<Method, PointResult>* results_;
+};
+
+std::map<Method, PointResult>* IntegrationFixture::results_ = nullptr;
+
+TEST_F(IntegrationFixture, AllJobsComplete) {
+  for (Method m : predict::kAllMethods) {
+    EXPECT_GT(result(m).sim.jobs_completed, 0u);
+    EXPECT_EQ(result(m).sim.jobs_forced, 0u) << predict::method_name(m);
+  }
+}
+
+TEST_F(IntegrationFixture, UtilizationOrderingMatchesFig7) {
+  // CORP > RCCR > CloudScale > DRA (allow CloudScale/RCCR to touch:
+  // mid-load points in Fig. 7 run close).
+  const double corp = result(Method::kCorp).sim.overall_utilization;
+  const double rccr = result(Method::kRccr).sim.overall_utilization;
+  const double cs = result(Method::kCloudScale).sim.overall_utilization;
+  const double dra = result(Method::kDra).sim.overall_utilization;
+  EXPECT_GT(corp, rccr);
+  EXPECT_GT(rccr, cs - 0.03);
+  EXPECT_GT(cs, dra);
+}
+
+TEST_F(IntegrationFixture, SloOrderingMatchesFig9) {
+  // CORP < RCCR < CloudScale < DRA.
+  const double corp = result(Method::kCorp).sim.slo_violation_rate;
+  const double rccr = result(Method::kRccr).sim.slo_violation_rate;
+  const double cs = result(Method::kCloudScale).sim.slo_violation_rate;
+  const double dra = result(Method::kDra).sim.slo_violation_rate;
+  EXPECT_LT(corp, rccr + 1e-9);
+  EXPECT_LT(rccr, cs + 1e-9);
+  EXPECT_LT(cs, dra + 1e-9);
+}
+
+TEST_F(IntegrationFixture, PredictionErrorOrderingMatchesFig6) {
+  // CORP < RCCR < {CloudScale, DRA}.
+  const double corp = result(Method::kCorp).prediction.error_rate;
+  const double rccr = result(Method::kRccr).prediction.error_rate;
+  const double cs = result(Method::kCloudScale).prediction.error_rate;
+  const double dra = result(Method::kDra).prediction.error_rate;
+  EXPECT_LT(corp, rccr + 0.05);
+  EXPECT_LT(rccr, cs);
+  EXPECT_LT(rccr, dra);
+}
+
+TEST_F(IntegrationFixture, CorpLatencyHighest) {
+  // Fig. 10: the DNN's computation makes CORP the slowest decision path.
+  const double corp = result(Method::kCorp).sim.compute_latency_ms;
+  for (Method m : {Method::kRccr, Method::kCloudScale, Method::kDra}) {
+    EXPECT_GT(corp, result(m).sim.compute_latency_ms)
+        << predict::method_name(m);
+  }
+}
+
+TEST_F(IntegrationFixture, OpportunisticReuseHappens) {
+  EXPECT_GT(result(Method::kCorp).sim.opportunistic_placements, 0u);
+  EXPECT_EQ(result(Method::kCloudScale).sim.opportunistic_placements, 0u);
+  EXPECT_EQ(result(Method::kDra).sim.opportunistic_placements, 0u);
+}
+
+TEST(ExperimentConfigTest, AggressivenessMapsMonotonically) {
+  ExperimentConfig experiment;
+  const auto conservative =
+      make_simulation_config(experiment, Method::kCorp, 0.0);
+  const auto aggressive =
+      make_simulation_config(experiment, Method::kCorp, 1.0);
+  ASSERT_TRUE(conservative.stack.has_value());
+  ASSERT_TRUE(aggressive.stack.has_value());
+  EXPECT_GT(conservative.stack->probability_threshold,
+            aggressive.stack->probability_threshold);
+  EXPECT_GT(conservative.stack->confidence_level,
+            aggressive.stack->confidence_level);
+  EXPECT_LT(conservative.stack->error_tolerance,
+            aggressive.stack->error_tolerance);
+}
+
+TEST(ExperimentConfigTest, BaselineKnobsMapped) {
+  ExperimentConfig experiment;
+  const auto cs0 =
+      make_simulation_config(experiment, Method::kCloudScale, 0.0);
+  const auto cs1 =
+      make_simulation_config(experiment, Method::kCloudScale, 1.0);
+  ASSERT_TRUE(cs0.cloudscale_scheduler.has_value());
+  EXPECT_GT(cs0.cloudscale_scheduler->padding_scale,
+            cs1.cloudscale_scheduler->padding_scale);
+  const auto dra0 = make_simulation_config(experiment, Method::kDra, 0.0);
+  const auto dra1 = make_simulation_config(experiment, Method::kDra, 1.0);
+  ASSERT_TRUE(dra0.dra_scheduler.has_value());
+  EXPECT_GT(dra0.dra_scheduler->entitlement_scale,
+            dra1.dra_scheduler->entitlement_scale);
+}
+
+TEST(FigureTest, TableAndCsvRender) {
+  Figure fig;
+  fig.id = "test";
+  fig.title = "Title";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.x = {1.0, 2.0};
+  fig.series.push_back({"A", {0.1, 0.2}});
+  fig.series.push_back({"B", {0.3, 0.4}});
+  const std::string table = fig.to_table();
+  EXPECT_NE(table.find("Title"), std::string::npos);
+  EXPECT_NE(table.find("A"), std::string::npos);
+  std::ostringstream csv;
+  fig.write_csv(csv);
+  EXPECT_NE(csv.str().find("x,A,B"), std::string::npos);
+  EXPECT_NE(csv.str().find("0.3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corp::sim

@@ -1,0 +1,58 @@
+#include "sim/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::sim {
+namespace {
+
+// Table II of the paper, asserted literally so drift is caught.
+TEST(ParamsTest, TableIIDefaults) {
+  const Params p;
+  EXPECT_EQ(p.num_servers_cluster, 50u);           // N_p (cluster)
+  EXPECT_EQ(p.num_servers_ec2, 30u);               // N_p (EC2)
+  EXPECT_EQ(p.jobs_min, 50u);                      // |J| from 50
+  EXPECT_EQ(p.jobs_max, 300u);                     // ... to 300
+  EXPECT_EQ(p.jobs_step, 50u);                     // step 50
+  EXPECT_EQ(Params::kResourceTypes, 3u);           // l = 3
+  EXPECT_DOUBLE_EQ(p.probability_threshold, 0.95); // P_th
+  EXPECT_EQ(p.dnn_layers, 4u);                     // h = 4
+  EXPECT_EQ(p.dnn_units, 50u);                     // N_n = 50
+  EXPECT_EQ(p.hmm_states, 3u);                     // H = 3
+  EXPECT_DOUBLE_EQ(p.significance_min, 0.05);      // theta 5%-30%
+  EXPECT_DOUBLE_EQ(p.significance_max, 0.30);
+  EXPECT_DOUBLE_EQ(p.confidence_min, 0.50);        // eta 50%-90%
+  EXPECT_DOUBLE_EQ(p.confidence_max, 0.90);
+}
+
+TEST(ParamsTest, DerivedTimeBase) {
+  const Params p;
+  EXPECT_EQ(p.window_slots, 6u);  // L = 1 minute of 10-second slots
+  EXPECT_DOUBLE_EQ(trace::kSlotSeconds, 10.0);
+  EXPECT_EQ(trace::kShortJobMaxSlots, 30u);  // 5-minute cap
+}
+
+TEST(ParamsTest, WeightsMatchPaper) {
+  const Params p;
+  // CPU/MEM/storage = 0.4/0.4/0.2 (storage is not the bottleneck).
+  EXPECT_DOUBLE_EQ(p.weights.w[0], 0.4);
+  EXPECT_DOUBLE_EQ(p.weights.w[1], 0.4);
+  EXPECT_DOUBLE_EQ(p.weights.w[2], 0.2);
+  EXPECT_TRUE(p.weights.valid());
+}
+
+TEST(ParamsTest, StackConfigPropagates) {
+  const Params p;
+  const predict::StackConfig stack = p.stack_config();
+  EXPECT_DOUBLE_EQ(stack.probability_threshold, p.probability_threshold);
+  EXPECT_DOUBLE_EQ(stack.error_tolerance, p.error_tolerance);
+  EXPECT_EQ(stack.horizon_slots, p.window_slots);
+  EXPECT_DOUBLE_EQ(stack.confidence_level, p.confidence_max);
+}
+
+TEST(ParamsTest, ContentionPenaltySuperlinear) {
+  const Params p;
+  EXPECT_GT(p.contention_penalty, 1.0);
+}
+
+}  // namespace
+}  // namespace corp::sim

@@ -1,0 +1,106 @@
+// Property tests over the (method x workload) cross product: invariants
+// that must hold for ANY combination — no job lost, no capacity violated,
+// metrics in range, accounting consistent.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "sim/workloads.hpp"
+
+namespace corp::sim {
+namespace {
+
+struct Case {
+  Method method;
+  WorkloadKind workload;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = std::string(predict::method_name(info.param.method)) +
+                     "_" + std::string(workload_name(info.param.workload));
+  for (char& c : name) {
+    if (c == '-') c = '_';  // gtest names must be identifiers
+  }
+  return name;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (Method m : predict::kAllMethods) {
+    for (WorkloadKind w : kAllWorkloads) {
+      cases.push_back({m, w});
+    }
+  }
+  return cases;
+}
+
+class SimulationPropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  static constexpr std::size_t kJobs = 25;
+
+  SimulationResult run_case(std::uint64_t seed) {
+    const auto env = cluster::EnvironmentConfig::PalmettoCluster();
+    trace::GoogleTraceGenerator train_gen(
+        scaled_generator_config(env, 60, 60));
+    util::Rng train_rng(seed);
+    const trace::Trace training = train_gen.generate(train_rng);
+
+    trace::GoogleTraceGenerator eval_gen(
+        workload_config(GetParam().workload, env, kJobs));
+    util::Rng eval_rng(seed + 1);
+    eval_ = eval_gen.generate(eval_rng);
+
+    SimulationConfig config;
+    config.method = GetParam().method;
+    config.seed = seed;
+    config.grace_slots = 2000;  // long-lived services need room
+    Simulation sim(std::move(config));
+    sim.train(training);
+    return sim.run(eval_);
+  }
+
+  trace::Trace eval_;
+};
+
+TEST_P(SimulationPropertyTest, NoJobLostOrDuplicated) {
+  const SimulationResult result = run_case(101);
+  // Every task is accounted exactly once (completed or force-recorded).
+  EXPECT_EQ(result.jobs_completed, eval_.size());
+}
+
+TEST_P(SimulationPropertyTest, MetricsWellFormed) {
+  const SimulationResult result = run_case(202);
+  EXPECT_GE(result.slo_violation_rate, 0.0);
+  EXPECT_LE(result.slo_violation_rate, 1.0);
+  EXPECT_GE(result.jobs_violated, 0u);
+  EXPECT_LE(result.jobs_violated, result.jobs_completed);
+  EXPECT_GE(result.overall_utilization, 0.0);
+  EXPECT_GE(result.overall_wastage, -1.0);
+  EXPECT_GE(result.mean_stretch, 1.0 - 1e-9);
+  EXPECT_GE(result.compute_latency_ms, 0.0);
+  EXPECT_GE(result.total_latency_ms, result.compute_latency_ms);
+  EXPECT_GT(result.slots_simulated, 0);
+  // Placements count scheduler *decisions*; a packed CORP entity covers
+  // two jobs, and a preempted lease is placed again, so decisions lie in
+  // [ceil(jobs/2), jobs + preemptions].
+  const std::size_t decisions =
+      result.reserved_placements + result.opportunistic_placements;
+  const std::size_t placed_jobs = eval_.size() - result.jobs_forced;
+  EXPECT_GE(decisions, (placed_jobs + 1) / 2);
+  EXPECT_LE(decisions, eval_.size() + result.lease_preemptions);
+}
+
+TEST_P(SimulationPropertyTest, OpportunisticOnlyForOpportunisticMethods) {
+  const SimulationResult result = run_case(303);
+  if (GetParam().method == Method::kCloudScale ||
+      GetParam().method == Method::kDra) {
+    EXPECT_EQ(result.opportunistic_placements, 0u);
+    EXPECT_EQ(result.lease_promotions, 0u);
+    EXPECT_EQ(result.lease_preemptions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MethodsTimesWorkloads, SimulationPropertyTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace corp::sim

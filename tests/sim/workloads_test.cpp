@@ -1,0 +1,90 @@
+#include "sim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/replication.hpp"
+
+namespace corp::sim {
+namespace {
+
+class WorkloadKindTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadKindTest, ConfigGeneratesValidTrace) {
+  const auto env = cluster::EnvironmentConfig::PalmettoCluster();
+  const trace::GeneratorConfig config =
+      workload_config(GetParam(), env, 30);
+  trace::GoogleTraceGenerator gen(config);
+  util::Rng rng(9);
+  const trace::Trace trace = gen.generate(rng);
+  EXPECT_GE(trace.size(), 30u);
+  const auto vm = env.vm_capacity();
+  for (const auto& job : trace.jobs()) {
+    EXPECT_TRUE(job.valid());
+    EXPECT_TRUE(job.request.fits_within(vm));
+  }
+}
+
+TEST_P(WorkloadKindTest, NameRoundTrips) {
+  const std::string_view name = workload_name(GetParam());
+  EXPECT_FALSE(name.empty());
+  EXPECT_NE(name, "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WorkloadKindTest,
+                         ::testing::ValuesIn(kAllWorkloads));
+
+TEST(WorkloadTest, BurstArrivesTightly) {
+  const auto env = cluster::EnvironmentConfig::PalmettoCluster();
+  const auto config = workload_config(WorkloadKind::kBurst, env, 40);
+  trace::GoogleTraceGenerator gen(config);
+  util::Rng rng(3);
+  const trace::Trace trace = gen.generate(rng);
+  for (const auto& job : trace.jobs()) {
+    EXPECT_LT(job.submit_slot, 3);
+  }
+}
+
+TEST(WorkloadTest, MixedServicesContainsLongJobs) {
+  const auto env = cluster::EnvironmentConfig::PalmettoCluster();
+  const auto config =
+      workload_config(WorkloadKind::kMixedServices, env, 60);
+  trace::GoogleTraceGenerator gen(config);
+  util::Rng rng(5);
+  const trace::Trace trace = gen.generate(rng);
+  std::size_t longs = 0;
+  for (const auto& job : trace.jobs()) {
+    if (!job.is_short_lived()) ++longs;
+  }
+  EXPECT_GT(longs, 0u);
+}
+
+TEST(ReplicationTest, RejectsZeroReplications) {
+  ExperimentConfig experiment;
+  ReplicationConfig config;
+  config.replications = 0;
+  EXPECT_THROW(
+      run_replicated_point(experiment, Method::kDra, 20, config),
+      std::invalid_argument);
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  ExperimentConfig experiment;
+  experiment.training_jobs = 60;
+  experiment.training_horizon_slots = 90;
+  ReplicationConfig config;
+  config.replications = 3;
+  const ReplicatedPoint point =
+      run_replicated_point(experiment, Method::kDra, 30, config);
+  EXPECT_EQ(point.replications, 3u);
+  EXPECT_GT(point.overall_utilization.mean, 0.0);
+  EXPECT_GE(point.overall_utilization.half_width, 0.0);
+  EXPECT_LE(point.overall_utilization.min,
+            point.overall_utilization.mean + 1e-12);
+  EXPECT_GE(point.overall_utilization.max,
+            point.overall_utilization.mean - 1e-12);
+  EXPECT_LE(point.overall_utilization.lower(),
+            point.overall_utilization.upper());
+}
+
+}  // namespace
+}  // namespace corp::sim

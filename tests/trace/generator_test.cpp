@@ -1,0 +1,187 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace corp::trace {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig config;
+  config.num_jobs = 40;
+  config.horizon_slots = 50;
+  return config;
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng a(9), b(9);
+  const Trace ta = gen.generate(a);
+  const Trace tb = gen.generate(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.jobs()[i].request, tb.jobs()[i].request);
+    EXPECT_EQ(ta.jobs()[i].duration_slots, tb.jobs()[i].duration_slots);
+    EXPECT_EQ(ta.jobs()[i].submit_slot, tb.jobs()[i].submit_slot);
+  }
+}
+
+TEST(GeneratorTest, TaskFanOutProducesAtLeastOnePerJob) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(9);
+  const Trace trace = gen.generate(rng);
+  EXPECT_GE(trace.size(), small_config().num_jobs);
+}
+
+TEST(GeneratorTest, AllJobsValid) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(1);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_TRUE(job.valid()) << "job " << job.id;
+  }
+}
+
+TEST(GeneratorTest, AllJobsShortLived) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(2);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_TRUE(job.is_short_lived());
+  }
+}
+
+TEST(GeneratorTest, SubmitSlotsWithinHorizon) {
+  GeneratorConfig config = small_config();
+  config.horizon_slots = 17;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(3);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_GE(job.submit_slot, 0);
+    EXPECT_LT(job.submit_slot, 17);
+  }
+}
+
+TEST(GeneratorTest, RequestCapRespected) {
+  GeneratorConfig config = small_config();
+  config.request_cap = ResourceVector(1.0, 2.0, 20.0);
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(4);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_TRUE(job.request.fits_within(config.request_cap));
+  }
+}
+
+TEST(GeneratorTest, UsageNeverExceedsRequest) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(5);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    for (const auto& u : job.usage) {
+      EXPECT_TRUE(u.fits_within(job.request, 1e-9));
+    }
+  }
+}
+
+TEST(GeneratorTest, MeanUtilizationRoughlyMatchesConfig) {
+  GeneratorConfig config = small_config();
+  config.num_jobs = 300;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(6);
+  const Trace trace = gen.generate(rng);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Job& job : trace.jobs()) {
+    for (const auto& u : job.usage) {
+      if (job.request.cpu() > 0) {
+        sum += u.cpu() / job.request.cpu();
+        ++n;
+      }
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), config.mean_utilization, 0.08);
+}
+
+TEST(GeneratorTest, UtilizationSeriesBounded) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(7);
+  const auto series = gen.generate_utilization_series(500, rng);
+  ASSERT_EQ(series.size(), 500u);
+  for (double u : series) {
+    EXPECT_GE(u, small_config().min_utilization);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(GeneratorTest, UtilizationSeriesFluctuates) {
+  GoogleTraceGenerator gen(small_config());
+  util::Rng rng(8);
+  const auto series = gen.generate_utilization_series(500, rng);
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  // Peaks and valleys should occur over 500 slots.
+  EXPECT_GT(hi, 0.8);
+  EXPECT_LT(lo, 0.35);
+}
+
+TEST(GeneratorTest, ClassMixRespected) {
+  GeneratorConfig config = small_config();
+  config.num_jobs = 400;
+  config.class_mix = {1.0, 0.0, 0.0, 0.0};
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(10);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_EQ(job.job_class, JobClass::kCpuIntensive);
+  }
+}
+
+TEST(GeneratorTest, DominantMatchesClass) {
+  GeneratorConfig config = small_config();
+  config.num_jobs = 200;
+  config.request_jitter_sigma = 0.0;  // no jitter -> deterministic dominance
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(11);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    if (job.job_class == JobClass::kCpuIntensive) {
+      // CPU-high: dominance is by normalized magnitude only when compared
+      // within comparable units; here we simply check the CPU request is
+      // at the configured high level.
+      EXPECT_NEAR(job.request.cpu(), config.cpu_request_high,
+                  config.cpu_request_high * 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  GeneratorConfig config = small_config();
+  config.num_jobs = 0;
+  EXPECT_THROW(GoogleTraceGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.horizon_slots = 0;
+  EXPECT_THROW(GoogleTraceGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.mean_utilization = 0.0;
+  EXPECT_THROW(GoogleTraceGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.max_duration_slots = 0;
+  EXPECT_THROW(GoogleTraceGenerator{config}, std::invalid_argument);
+}
+
+TEST(GeneratorTest, TasksOfAJobShareSubmitSlot) {
+  GeneratorConfig config = small_config();
+  config.num_jobs = 1;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(12);
+  const Trace trace = gen.generate(rng);
+  for (const Job& job : trace.jobs()) {
+    EXPECT_EQ(job.submit_slot, trace.jobs()[0].submit_slot);
+  }
+}
+
+}  // namespace
+}  // namespace corp::trace

@@ -1,0 +1,142 @@
+#include "trace/google_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corp::trace {
+namespace {
+
+// task_events rows: timestamp, missing, job_id, task_index, machine_id,
+// event_type, user, class, priority, cpu_req, mem_req, disk_req.
+constexpr const char* kEvents =
+    "0,,100,0,5,0,u,2,0,0.05,0.02,0.001\n"
+    "600000000,,100,1,5,0,u,2,0,0.10,0.03,0.002\n"
+    "0,,100,0,5,1,u,2,0,,,\n"           // SCHEDULE event: ignored
+    "0,,200,0,6,0,u,2,0,0.50,0.50,0.01\n";  // no usage -> dropped
+
+// task_usage rows: start, end, job_id, task_index, machine, mean_cpu,
+// canonical_mem, ..., mean_disk_space at index 12.
+constexpr const char* kUsage =
+    "0,300000000,100,0,5,0.02,0.01,0,0,0,0,0,0.0005\n"
+    "300000000,600000000,100,0,5,0.03,0.012,0,0,0,0,0,0.0005\n"
+    "600000000,900000000,100,1,5,0.05,0.02,0,0,0,0,0,0.001\n";
+
+TEST(GoogleFormatTest, ParsesEvents) {
+  std::istringstream in(kEvents);
+  const auto events = read_task_events(in);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].job_id, 100u);
+  EXPECT_EQ(events[0].event_type, 0);
+  EXPECT_DOUBLE_EQ(events[0].cpu_request, 0.05);
+  EXPECT_EQ(events[2].event_type, 1);
+  EXPECT_DOUBLE_EQ(events[2].cpu_request, 0.0);  // empty field -> 0
+}
+
+TEST(GoogleFormatTest, ParsesUsage) {
+  std::istringstream in(kUsage);
+  const auto usage = read_task_usage(in);
+  ASSERT_EQ(usage.size(), 3u);
+  EXPECT_EQ(usage[0].end_time_us, 300000000);
+  EXPECT_DOUBLE_EQ(usage[0].mean_cpu, 0.02);
+  EXPECT_DOUBLE_EQ(usage[0].mean_disk_space, 0.0005);
+}
+
+TEST(GoogleFormatTest, RejectsMalformedRows) {
+  std::istringstream bad_events("1,2,3\n");
+  EXPECT_THROW(read_task_events(bad_events), std::runtime_error);
+  std::istringstream bad_usage("1,2\n");
+  EXPECT_THROW(read_task_usage(bad_usage), std::runtime_error);
+}
+
+TEST(GoogleFormatTest, BuildsJobsFromJoin) {
+  std::istringstream events_in(kEvents);
+  std::istringstream usage_in(kUsage);
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  GoogleFormatConfig config;
+  config.max_duration_slots = 0;  // keep everything
+  util::Rng rng(1);
+  const Trace trace = build_trace(events, usage, config, rng);
+  // Task (100,0) has 2 usage windows, (100,1) has 1; job 200 has none.
+  ASSERT_EQ(trace.size(), 2u);
+  for (const auto& job : trace.jobs()) {
+    EXPECT_TRUE(job.valid()) << "job " << job.id;
+  }
+}
+
+TEST(GoogleFormatTest, ResamplesFiveMinuteWindows) {
+  std::istringstream events_in(kEvents);
+  std::istringstream usage_in(kUsage);
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  GoogleFormatConfig config;
+  config.max_duration_slots = 0;
+  util::Rng rng(1);
+  const Trace trace = build_trace(events, usage, config, rng);
+  // Two 5-minute windows -> (2-1)*30 + 1 = 31 fine slots; one window -> 30.
+  std::vector<std::size_t> durations;
+  for (const auto& job : trace.jobs()) durations.push_back(job.duration_slots);
+  std::sort(durations.begin(), durations.end());
+  EXPECT_EQ(durations[0], 30u);
+  EXPECT_EQ(durations[1], 31u);
+}
+
+TEST(GoogleFormatTest, ScalesByMachineConstants) {
+  std::istringstream events_in(kEvents);
+  std::istringstream usage_in(kUsage);
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  GoogleFormatConfig config;
+  config.max_duration_slots = 0;
+  config.cpu_scale_cores = 16.0;
+  util::Rng rng(1);
+  const Trace trace = build_trace(events, usage, config, rng);
+  // Task (100,0) requested 0.05 normalized CPU -> 0.8 cores.
+  const Job& first = trace.jobs().front();
+  EXPECT_NEAR(first.request.cpu(), 0.05 * 16.0, 1e-9);
+}
+
+TEST(GoogleFormatTest, LongTaskFilter) {
+  // With the default 30-slot cap, task (100,0)'s two usage windows (31
+  // fine slots) exceed the cap and are dropped; task (100,1)'s single
+  // window (exactly 30 slots) survives.
+  std::istringstream events_in(kEvents);
+  std::istringstream usage_in(kUsage);
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  GoogleFormatConfig config;  // default cap = 30 slots
+  util::Rng rng(1);
+  const Trace trace = build_trace(events, usage, config, rng);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.jobs()[0].duration_slots, 30u);
+}
+
+TEST(GoogleFormatTest, GapsFilledWithPreviousRecord) {
+  // Windows at t=0 and t=600s (gap at 300s) -> three coarse samples.
+  std::istringstream events_in("0,,7,0,1,0,u,2,0,0.1,0.1,0.01\n");
+  std::istringstream usage_in(
+      "0,300000000,7,0,1,0.02,0.01,0,0,0,0,0,0.001\n"
+      "600000000,900000000,7,0,1,0.04,0.02,0,0,0,0,0,0.002\n");
+  const auto events = read_task_events(events_in);
+  const auto usage = read_task_usage(usage_in);
+  GoogleFormatConfig config;
+  config.max_duration_slots = 0;
+  util::Rng rng(1);
+  const Trace trace = build_trace(events, usage, config, rng);
+  ASSERT_EQ(trace.size(), 1u);
+  // 3 coarse samples -> (3-1)*30+1 = 61 fine slots.
+  EXPECT_EQ(trace.jobs()[0].duration_slots, 61u);
+}
+
+TEST(GoogleFormatTest, MissingFilesThrow) {
+  GoogleFormatConfig config;
+  util::Rng rng(1);
+  EXPECT_THROW(
+      load_google_trace("/nonexistent/events.csv", "/nonexistent/usage.csv",
+                        config, rng),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace corp::trace

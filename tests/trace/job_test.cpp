@@ -1,0 +1,156 @@
+#include "trace/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::trace {
+namespace {
+
+Job make_job(std::uint64_t id, std::int64_t submit, std::size_t duration) {
+  Job job;
+  job.id = id;
+  job.submit_slot = submit;
+  job.duration_slots = duration;
+  job.request = ResourceVector(2.0, 4.0, 10.0);
+  job.usage.assign(duration, ResourceVector(1.0, 2.0, 5.0));
+  return job;
+}
+
+TEST(JobTest, DemandAtClampsToLastSample) {
+  Job job = make_job(1, 0, 3);
+  job.usage[2] = ResourceVector(1.5, 1.5, 1.5);
+  EXPECT_EQ(job.demand_at(2), job.usage[2]);
+  EXPECT_EQ(job.demand_at(99), job.usage[2]);
+}
+
+TEST(JobTest, DemandAtEmptyUsageIsZero) {
+  Job job;
+  EXPECT_EQ(job.demand_at(0), ResourceVector::zero());
+}
+
+TEST(JobTest, PeakAndMeanDemand) {
+  Job job = make_job(1, 0, 2);
+  job.usage[0] = ResourceVector(1.0, 3.0, 2.0);
+  job.usage[1] = ResourceVector(2.0, 1.0, 2.0);
+  EXPECT_EQ(job.peak_demand(), ResourceVector(2.0, 3.0, 2.0));
+  EXPECT_EQ(job.mean_demand(), ResourceVector(1.5, 2.0, 2.0));
+}
+
+TEST(JobTest, UnusedIsRequestMinusDemand) {
+  Job job = make_job(1, 0, 1);
+  const ResourceVector unused = job.unused_at(0);
+  EXPECT_DOUBLE_EQ(unused.cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(unused.memory(), 2.0);
+  EXPECT_DOUBLE_EQ(unused.storage(), 5.0);
+}
+
+TEST(JobTest, UnusedClampedNonNegative) {
+  Job job = make_job(1, 0, 1);
+  job.usage[0] = ResourceVector(5.0, 5.0, 50.0);  // above request
+  EXPECT_FALSE(job.unused_at(0).any_negative());
+}
+
+TEST(JobTest, DominantResourceFromRequest) {
+  Job job = make_job(1, 0, 1);
+  EXPECT_EQ(job.dominant_resource(), ResourceKind::kStorage);
+}
+
+TEST(JobTest, ShortLivedCap) {
+  EXPECT_TRUE(make_job(1, 0, kShortJobMaxSlots).is_short_lived());
+  EXPECT_FALSE(make_job(1, 0, kShortJobMaxSlots + 1).is_short_lived());
+}
+
+TEST(JobTest, ValidAcceptsWellFormed) {
+  EXPECT_TRUE(make_job(1, 0, 3).valid());
+}
+
+TEST(JobTest, ValidRejectsBadShapes) {
+  Job job = make_job(1, 0, 3);
+  job.usage.pop_back();
+  EXPECT_FALSE(job.valid());
+
+  Job zero_duration = make_job(1, 0, 1);
+  zero_duration.duration_slots = 0;
+  zero_duration.usage.clear();
+  EXPECT_FALSE(zero_duration.valid());
+
+  Job negative = make_job(1, 0, 1);
+  negative.request = ResourceVector(-1.0, 1.0, 1.0);
+  EXPECT_FALSE(negative.valid());
+
+  Job over = make_job(1, 0, 1);
+  over.usage[0] = ResourceVector(3.0, 1.0, 1.0);  // above request
+  EXPECT_FALSE(over.valid());
+
+  Job bad_slo = make_job(1, 0, 1);
+  bad_slo.slo_stretch = 0.5;
+  EXPECT_FALSE(bad_slo.valid());
+}
+
+TEST(TraceTest, SortsOnConstruction) {
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(2, 10, 1));
+  jobs.push_back(make_job(1, 5, 1));
+  jobs.push_back(make_job(3, 5, 1));
+  const Trace trace(std::move(jobs));
+  EXPECT_EQ(trace.jobs()[0].id, 1u);
+  EXPECT_EQ(trace.jobs()[1].id, 3u);
+  EXPECT_EQ(trace.jobs()[2].id, 2u);
+}
+
+TEST(TraceTest, HorizonCoversLastJob) {
+  Trace trace;
+  trace.add(make_job(1, 5, 4));
+  trace.add(make_job(2, 0, 2));
+  trace.sort();
+  EXPECT_EQ(trace.horizon_slots(), 9);
+}
+
+TEST(TraceTest, EmptyHorizonIsZero) {
+  EXPECT_EQ(Trace{}.horizon_slots(), 0);
+}
+
+TEST(TraceTest, ArrivalsAtSlot) {
+  Trace trace;
+  trace.add(make_job(1, 3, 1));
+  trace.add(make_job(2, 3, 1));
+  trace.add(make_job(3, 4, 1));
+  trace.sort();
+  EXPECT_EQ(trace.arrivals_at(3).size(), 2u);
+  EXPECT_EQ(trace.arrivals_at(4).size(), 1u);
+  EXPECT_TRUE(trace.arrivals_at(99).empty());
+}
+
+TEST(TraceTest, FilterLongJobsRemovesAndCounts) {
+  Trace trace;
+  trace.add(make_job(1, 0, 5));
+  trace.add(make_job(2, 0, kShortJobMaxSlots + 10));
+  trace.sort();
+  EXPECT_EQ(trace.filter_long_jobs(), 1u);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.jobs()[0].id, 1u);
+}
+
+TEST(TraceTest, ClassHistogramCounts) {
+  Trace trace;
+  Job a = make_job(1, 0, 1);
+  a.job_class = JobClass::kCpuIntensive;
+  Job b = make_job(2, 0, 1);
+  b.job_class = JobClass::kCpuIntensive;
+  Job c = make_job(3, 0, 1);
+  c.job_class = JobClass::kBalanced;
+  trace.add(a);
+  trace.add(b);
+  trace.add(c);
+  const auto hist = trace.class_histogram();
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(JobClassTest, Names) {
+  EXPECT_EQ(job_class_name(JobClass::kCpuIntensive), "cpu-intensive");
+  EXPECT_EQ(job_class_name(JobClass::kStorageIntensive),
+            "storage-intensive");
+}
+
+}  // namespace
+}  // namespace corp::trace

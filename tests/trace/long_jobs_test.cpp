@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.hpp"
+#include "util/stats.hpp"
+
+namespace corp::trace {
+namespace {
+
+GeneratorConfig mixed_config() {
+  GeneratorConfig config;
+  config.num_jobs = 60;
+  config.horizon_slots = 40;
+  config.long_job_fraction = 0.3;
+  return config;
+}
+
+TEST(LongJobTest, MixedTraceHasBothKinds) {
+  GoogleTraceGenerator gen(mixed_config());
+  util::Rng rng(5);
+  const Trace trace = gen.generate(rng);
+  std::size_t longs = 0, shorts = 0;
+  for (const auto& job : trace.jobs()) {
+    (job.is_short_lived() ? shorts : longs)++;
+  }
+  EXPECT_GT(longs, 0u);
+  EXPECT_GT(shorts, 0u);
+}
+
+TEST(LongJobTest, LongJobsValidAndWithinRange) {
+  GoogleTraceGenerator gen(mixed_config());
+  util::Rng rng(6);
+  const Trace trace = gen.generate(rng);
+  for (const auto& job : trace.jobs()) {
+    if (job.is_short_lived()) continue;
+    EXPECT_TRUE(job.valid());
+    EXPECT_GE(job.duration_slots, mixed_config().long_duration_min_slots);
+    EXPECT_LE(job.duration_slots, mixed_config().long_duration_max_slots);
+  }
+}
+
+TEST(LongJobTest, DirectGenerationDeterministic) {
+  GoogleTraceGenerator gen(mixed_config());
+  util::Rng a(9), b(9);
+  const Job ja = gen.generate_long_job(1, 0, a);
+  const Job jb = gen.generate_long_job(1, 0, b);
+  EXPECT_EQ(ja.duration_slots, jb.duration_slots);
+  EXPECT_EQ(ja.usage, jb.usage);
+}
+
+TEST(LongJobTest, LongJobsHavePeriodicPattern) {
+  // Autocorrelation at the configured period should be strong — this is
+  // the signal the paper says time-series methods exploit on
+  // long-running services (and which short-lived jobs lack).
+  GeneratorConfig config = mixed_config();
+  config.long_pattern_period = 40.0;
+  config.long_duration_min_slots = 200;
+  config.long_duration_max_slots = 240;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(11);
+  const Job job = gen.generate_long_job(1, 0, rng);
+
+  std::vector<double> series;
+  for (const auto& u : job.usage) series.push_back(u.cpu());
+  const std::size_t lag = 40;
+  std::vector<double> head(series.begin(),
+                           series.end() - static_cast<std::ptrdiff_t>(lag));
+  std::vector<double> tail(series.begin() + static_cast<std::ptrdiff_t>(lag),
+                           series.end());
+  EXPECT_GT(util::pearson(head, tail), 0.7);
+}
+
+TEST(LongJobTest, ShortJobsLackThatPattern) {
+  GeneratorConfig config = mixed_config();
+  config.max_duration_slots = 30;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(13);
+  // Build one long concatenated short-job-style series and check its
+  // lag-40 autocorrelation is weak.
+  const auto series = gen.generate_utilization_series(400, rng);
+  const std::size_t lag = 40;
+  std::vector<double> head(series.begin(),
+                           series.end() - static_cast<std::ptrdiff_t>(lag));
+  std::vector<double> tail(series.begin() + static_cast<std::ptrdiff_t>(lag),
+                           series.end());
+  EXPECT_LT(std::abs(util::pearson(head, tail)), 0.4);
+}
+
+TEST(LongJobTest, ZeroFractionGeneratesNone) {
+  GeneratorConfig config = mixed_config();
+  config.long_job_fraction = 0.0;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(15);
+  const Trace trace = gen.generate(rng);
+  for (const auto& job : trace.jobs()) {
+    EXPECT_TRUE(job.is_short_lived());
+  }
+}
+
+}  // namespace
+}  // namespace corp::trace

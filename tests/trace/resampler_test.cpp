@@ -1,0 +1,115 @@
+#include "trace/resampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::trace {
+namespace {
+
+TEST(ResamplerTest, OutputLengthMatchesFormula) {
+  util::Rng rng(1);
+  ResampleConfig config;
+  config.slots_per_sample = 30;
+  const std::vector<double> coarse{1.0, 2.0, 3.0};
+  const auto fine = resample_series(coarse, config, rng);
+  EXPECT_EQ(fine.size(), (coarse.size() - 1) * 30 + 1);
+}
+
+TEST(ResamplerTest, PassesThroughAnchors) {
+  util::Rng rng(1);
+  ResampleConfig config;
+  config.slots_per_sample = 10;
+  config.jitter_fraction = 0.0;
+  const std::vector<double> coarse{1.0, 2.0, 4.0};
+  const auto fine = resample_series(coarse, config, rng);
+  EXPECT_DOUBLE_EQ(fine[0], 1.0);
+  EXPECT_DOUBLE_EQ(fine[10], 2.0);
+  EXPECT_DOUBLE_EQ(fine.back(), 4.0);
+}
+
+TEST(ResamplerTest, LinearWithoutJitter) {
+  util::Rng rng(1);
+  ResampleConfig config;
+  config.slots_per_sample = 4;
+  config.jitter_fraction = 0.0;
+  const std::vector<double> coarse{0.0, 4.0};
+  const auto fine = resample_series(coarse, config, rng);
+  ASSERT_EQ(fine.size(), 5u);
+  EXPECT_DOUBLE_EQ(fine[1], 1.0);
+  EXPECT_DOUBLE_EQ(fine[3], 3.0);
+}
+
+TEST(ResamplerTest, JitterPerturbsInteriorOnly) {
+  util::Rng rng(7);
+  ResampleConfig config;
+  config.slots_per_sample = 10;
+  config.jitter_fraction = 0.2;
+  const std::vector<double> coarse{5.0, 5.0};
+  const auto fine = resample_series(coarse, config, rng);
+  EXPECT_DOUBLE_EQ(fine[0], 5.0);
+  EXPECT_DOUBLE_EQ(fine.back(), 5.0);
+  bool any_different = false;
+  for (std::size_t i = 1; i + 1 < fine.size(); ++i) {
+    if (fine[i] != 5.0) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ResamplerTest, FloorEnforced) {
+  util::Rng rng(7);
+  ResampleConfig config;
+  config.slots_per_sample = 10;
+  config.jitter_fraction = 3.0;  // extreme jitter to force negatives
+  config.floor_value = 0.0;
+  const std::vector<double> coarse{0.01, 0.01, 0.01};
+  const auto fine = resample_series(coarse, config, rng);
+  for (double v : fine) EXPECT_GE(v, 0.0);
+}
+
+TEST(ResamplerTest, ShortInputsReturnedUnchanged) {
+  util::Rng rng(1);
+  ResampleConfig config;
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(resample_series(one, config, rng), one);
+  EXPECT_TRUE(resample_series({}, config, rng).empty());
+}
+
+TEST(ResamplerTest, UsageResampleComponentwise) {
+  util::Rng rng(1);
+  ResampleConfig config;
+  config.slots_per_sample = 2;
+  config.jitter_fraction = 0.0;
+  const std::vector<ResourceVector> coarse{ResourceVector(0, 0, 0),
+                                           ResourceVector(2, 4, 6)};
+  const auto fine = resample_usage(coarse, config, rng);
+  ASSERT_EQ(fine.size(), 3u);
+  EXPECT_EQ(fine[1], ResourceVector(1, 2, 3));
+}
+
+TEST(ResamplerTest, JobResampleKeepsValidity) {
+  util::Rng rng(3);
+  Job coarse;
+  coarse.id = 1;
+  coarse.duration_slots = 4;
+  coarse.request = ResourceVector(2.0, 2.0, 2.0);
+  coarse.usage = {ResourceVector(1.0, 1.0, 1.0), ResourceVector(1.9, 1.9, 1.9),
+                  ResourceVector(0.5, 0.5, 0.5), ResourceVector(1.0, 1.0, 1.0)};
+  ResampleConfig config;
+  config.slots_per_sample = 30;
+  config.jitter_fraction = 0.1;
+  const Job fine = resample_job(coarse, config, rng);
+  EXPECT_EQ(fine.duration_slots, fine.usage.size());
+  EXPECT_EQ(fine.duration_slots, 3u * 30 + 1);
+  EXPECT_TRUE(fine.valid());
+}
+
+TEST(ResamplerTest, FiveMinuteToTenSecondScenario) {
+  // The paper's transformation: 5-minute records to 10-second slots.
+  util::Rng rng(5);
+  ResampleConfig config;  // default slots_per_sample = 30
+  const std::vector<double> five_minute_records{0.5, 0.7, 0.6, 0.8};
+  const auto ten_second = resample_series(five_minute_records, config, rng);
+  EXPECT_EQ(ten_second.size(), 91u);
+}
+
+}  // namespace
+}  // namespace corp::trace

@@ -1,0 +1,121 @@
+#include "trace/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corp::trace {
+namespace {
+
+TEST(ResourceVectorTest, DefaultIsZero) {
+  ResourceVector v;
+  EXPECT_DOUBLE_EQ(v.cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(v.memory(), 0.0);
+  EXPECT_DOUBLE_EQ(v.storage(), 0.0);
+  EXPECT_EQ(v, ResourceVector::zero());
+}
+
+TEST(ResourceVectorTest, Arithmetic) {
+  const ResourceVector a(1.0, 2.0, 3.0);
+  const ResourceVector b(0.5, 0.5, 0.5);
+  const ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.cpu(), 1.5);
+  EXPECT_DOUBLE_EQ(sum.storage(), 3.5);
+  const ResourceVector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.memory(), 1.5);
+  const ResourceVector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.cpu(), 2.0);
+  const ResourceVector scaled2 = 2.0 * a;
+  EXPECT_EQ(scaled, scaled2);
+}
+
+TEST(ResourceVectorTest, GetSetByKind) {
+  ResourceVector v;
+  v.set(ResourceKind::kMemory, 8.0);
+  EXPECT_DOUBLE_EQ(v.get(ResourceKind::kMemory), 8.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+}
+
+TEST(ResourceVectorTest, FitsWithin) {
+  const ResourceVector small(1.0, 1.0, 1.0);
+  const ResourceVector big(2.0, 2.0, 2.0);
+  EXPECT_TRUE(small.fits_within(big));
+  EXPECT_FALSE(big.fits_within(small));
+  EXPECT_TRUE(small.fits_within(small));
+}
+
+TEST(ResourceVectorTest, FitsWithinRespectsEpsilon) {
+  const ResourceVector a(1.0 + 1e-12, 1.0, 1.0);
+  const ResourceVector b(1.0, 1.0, 1.0);
+  EXPECT_TRUE(a.fits_within(b));
+  const ResourceVector c(1.1, 1.0, 1.0);
+  EXPECT_FALSE(c.fits_within(b));
+}
+
+TEST(ResourceVectorTest, FitsWithinFailsOnAnyComponent) {
+  const ResourceVector v(0.5, 3.0, 0.5);
+  const ResourceVector cap(1.0, 1.0, 1.0);
+  EXPECT_FALSE(v.fits_within(cap));
+}
+
+TEST(ResourceVectorTest, NegativityAndClamp) {
+  const ResourceVector v(1.0, -0.5, 2.0);
+  EXPECT_TRUE(v.any_negative());
+  const ResourceVector clamped = v.clamped_non_negative();
+  EXPECT_FALSE(clamped.any_negative());
+  EXPECT_DOUBLE_EQ(clamped.memory(), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.cpu(), 1.0);
+}
+
+TEST(ResourceVectorTest, MinMax) {
+  const ResourceVector a(1.0, 5.0, 3.0);
+  const ResourceVector b(2.0, 4.0, 3.0);
+  const ResourceVector lo = ResourceVector::min(a, b);
+  const ResourceVector hi = ResourceVector::max(a, b);
+  EXPECT_EQ(lo, ResourceVector(1.0, 4.0, 3.0));
+  EXPECT_EQ(hi, ResourceVector(2.0, 5.0, 3.0));
+}
+
+TEST(ResourceVectorTest, DominantResource) {
+  EXPECT_EQ(ResourceVector(3.0, 1.0, 2.0).dominant(), ResourceKind::kCpu);
+  EXPECT_EQ(ResourceVector(1.0, 3.0, 2.0).dominant(), ResourceKind::kMemory);
+  EXPECT_EQ(ResourceVector(1.0, 2.0, 3.0).dominant(), ResourceKind::kStorage);
+  // Ties resolve to the lower index.
+  EXPECT_EQ(ResourceVector(2.0, 2.0, 1.0).dominant(), ResourceKind::kCpu);
+}
+
+TEST(ResourceVectorTest, TotalsAndWeights) {
+  const ResourceVector v(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(v.total(), 6.0);
+  EXPECT_DOUBLE_EQ(v.weighted_total({0.4, 0.4, 0.2}), 0.4 + 0.8 + 0.6);
+}
+
+TEST(ResourceVectorTest, StreamOutput) {
+  std::ostringstream os;
+  os << ResourceVector(1.0, 2.0, 3.0);
+  EXPECT_EQ(os.str(), "<1, 2, 3>");
+}
+
+TEST(ResourceWeightsTest, PaperDefaultsValid) {
+  ResourceWeights w;
+  EXPECT_TRUE(w.valid());
+  EXPECT_DOUBLE_EQ(w.weight(ResourceKind::kCpu), 0.4);
+  EXPECT_DOUBLE_EQ(w.weight(ResourceKind::kStorage), 0.2);
+}
+
+TEST(ResourceWeightsTest, InvalidWeightsDetected) {
+  ResourceWeights w;
+  w.w = {0.5, 0.5, 0.5};
+  EXPECT_FALSE(w.valid());
+  w.w = {-0.2, 0.6, 0.6};
+  EXPECT_FALSE(w.valid());
+}
+
+TEST(ResourceNameTest, AllKindsNamed) {
+  EXPECT_EQ(resource_name(ResourceKind::kCpu), "CPU");
+  EXPECT_EQ(resource_name(ResourceKind::kMemory), "MEM");
+  EXPECT_EQ(resource_name(ResourceKind::kStorage), "STORAGE");
+}
+
+}  // namespace
+}  // namespace corp::trace

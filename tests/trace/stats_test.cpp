@@ -1,0 +1,96 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace corp::trace {
+namespace {
+
+Job flat_job(std::uint64_t id, std::int64_t submit, std::size_t duration,
+             JobClass cls = JobClass::kBalanced) {
+  Job job;
+  job.id = id;
+  job.submit_slot = submit;
+  job.duration_slots = duration;
+  job.job_class = cls;
+  job.request = ResourceVector(2.0, 4.0, 10.0);
+  job.usage.assign(duration, ResourceVector(1.0, 2.0, 5.0));
+  return job;
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace{});
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.peak_concurrency, 0u);
+  EXPECT_EQ(stats.duration_seconds.count, 0u);
+}
+
+TEST(TraceStatsTest, CountsAndClasses) {
+  Trace trace;
+  trace.add(flat_job(1, 0, 5, JobClass::kCpuIntensive));
+  trace.add(flat_job(2, 0, 5, JobClass::kCpuIntensive));
+  trace.add(flat_job(3, 0, 40, JobClass::kBalanced));  // long-lived
+  trace.sort();
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.tasks, 3u);
+  EXPECT_EQ(stats.class_histogram[0], 2u);
+  EXPECT_EQ(stats.class_histogram[3], 1u);
+  EXPECT_EQ(stats.short_lived, 2u);
+  EXPECT_EQ(stats.long_lived, 1u);
+}
+
+TEST(TraceStatsTest, UtilizationFraction) {
+  Trace trace;
+  trace.add(flat_job(1, 0, 4));  // demand = request/2 on every type
+  trace.sort();
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_NEAR(stats.utilization_fraction.mean, 0.5, 1e-12);
+  EXPECT_NEAR(stats.unused_fraction.mean, 0.5, 1e-12);
+}
+
+TEST(TraceStatsTest, PeakConcurrencySweep) {
+  Trace trace;
+  trace.add(flat_job(1, 0, 4));   // [0, 4)
+  trace.add(flat_job(2, 2, 4));   // [2, 6)   overlap with 1 and 3
+  trace.add(flat_job(3, 3, 4));   // [3, 7)
+  trace.add(flat_job(4, 10, 2));  // isolated
+  trace.sort();
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.peak_concurrency, 3u);
+}
+
+TEST(TraceStatsTest, BackToBackJobsDoNotOverlap) {
+  Trace trace;
+  trace.add(flat_job(1, 0, 4));  // [0, 4)
+  trace.add(flat_job(2, 4, 4));  // [4, 8)
+  trace.sort();
+  EXPECT_EQ(compute_stats(trace).peak_concurrency, 1u);
+}
+
+TEST(TraceStatsTest, DurationInSeconds) {
+  Trace trace;
+  trace.add(flat_job(1, 0, 6));  // 6 slots x 10 s
+  trace.sort();
+  EXPECT_DOUBLE_EQ(compute_stats(trace).duration_seconds.mean, 60.0);
+}
+
+TEST(TraceStatsTest, PrintRendersAllSections) {
+  GeneratorConfig config;
+  config.num_jobs = 20;
+  config.horizon_slots = 10;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(5);
+  const Trace trace = gen.generate(rng);
+  std::ostringstream out;
+  print_stats(compute_stats(trace), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("peak concurrency"), std::string::npos);
+  EXPECT_NE(text.find("cpu-intensive"), std::string::npos);
+  EXPECT_NE(text.find("unused fraction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corp::trace

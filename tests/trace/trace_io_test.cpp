@@ -1,0 +1,93 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace corp::trace {
+namespace {
+
+Trace sample_trace() {
+  GeneratorConfig config;
+  config.num_jobs = 10;
+  config.horizon_slots = 20;
+  GoogleTraceGenerator gen(config);
+  util::Rng rng(77);
+  return gen.generate(rng);
+}
+
+TEST(TraceIoTest, RoundTripPreservesJobs) {
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  write_trace_csv(original, out);
+  std::istringstream in(out.str());
+  const Trace loaded = read_trace_csv(in);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.jobs()[i];
+    const Job& b = loaded.jobs()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.job_class, b.job_class);
+    EXPECT_EQ(a.submit_slot, b.submit_slot);
+    EXPECT_EQ(a.duration_slots, b.duration_slots);
+    EXPECT_NEAR(a.slo_stretch, b.slo_stretch, 1e-9);
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      EXPECT_NEAR(a.request[r], b.request[r], 1e-9);
+    }
+    ASSERT_EQ(a.usage.size(), b.usage.size());
+    for (std::size_t t = 0; t < a.usage.size(); ++t) {
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        EXPECT_NEAR(a.usage[t][r], b.usage[t][r], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TraceIoTest, RowCountMatchesTotalSlots) {
+  const Trace trace = sample_trace();
+  std::size_t total_slots = 0;
+  for (const Job& job : trace.jobs()) total_slots += job.usage.size();
+  std::ostringstream out;
+  write_trace_csv(trace, out);
+  std::size_t lines = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, total_slots + 1);  // + header
+}
+
+TEST(TraceIoTest, BadHeaderThrows) {
+  std::istringstream in("wrong,header\n1,2\n");
+  EXPECT_THROW(read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, InvalidJobRejected) {
+  // A row whose usage exceeds the request must be rejected on load.
+  std::ostringstream out;
+  out << "job_id,class,submit_slot,duration_slots,slo_stretch,"
+         "req_cpu,req_mem,req_storage,slot,use_cpu,use_mem,use_storage\n";
+  out << "1,0,0,1,1.2,1.0,1.0,1.0,0,5.0,0.5,0.5\n";
+  std::istringstream in(out.str());
+  EXPECT_THROW(read_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv_file("/nonexistent/trace.csv"),
+               std::runtime_error);
+  EXPECT_THROW(write_trace_csv_file(Trace{}, "/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = testing::TempDir() + "/corp_trace_test.csv";
+  write_trace_csv_file(original, path);
+  const Trace loaded = read_trace_csv_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+}
+
+}  // namespace
+}  // namespace corp::trace

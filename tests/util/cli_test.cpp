@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace corp::util {
+namespace {
+
+ArgParser parse(std::vector<const char*> args,
+                const std::vector<std::string>& known = {}) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return ArgParser(static_cast<int>(argv.size()), argv.data(), 1, known);
+}
+
+TEST(ArgParserTest, SpaceSeparatedValues) {
+  const auto args = parse({"--jobs", "150", "--env", "ec2"});
+  EXPECT_TRUE(args.has("jobs"));
+  EXPECT_EQ(args.get_int("jobs", 0), 150);
+  EXPECT_EQ(args.get("env", ""), "ec2");
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  const auto args = parse({"--seed=42", "--aggressiveness=0.7"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("aggressiveness", 0.0), 0.7);
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_FALSE(args.has("jobs"));
+  EXPECT_EQ(args.get_int("jobs", 99), 99);
+  EXPECT_EQ(args.get("env", "cluster"), "cluster");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const auto args = parse({"input.csv", "--flag", "v", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(ArgParserTest, MissingValueThrows) {
+  EXPECT_THROW(parse({"--jobs"}), std::invalid_argument);
+}
+
+TEST(ArgParserTest, UnknownFlagRejectedWhenDeclared) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"jobs"}), std::invalid_argument);
+  EXPECT_NO_THROW(parse({"--jobs", "1"}, {"jobs"}));
+}
+
+TEST(ArgParserTest, EmptyValueViaEquals) {
+  const auto args = parse({"--name="});
+  EXPECT_TRUE(args.has("name"));
+  EXPECT_EQ(args.get("name", "x"), "");
+}
+
+}  // namespace
+}  // namespace corp::util

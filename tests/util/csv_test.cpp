@@ -1,0 +1,101 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corp::util {
+namespace {
+
+TEST(CsvSplitTest, SimpleFields) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvSplitTest, EmptyFields) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvSplitTest, QuotedCommas) {
+  const auto fields = split_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvSplitTest, EscapedQuotes) {
+  const auto fields = split_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvSplitTest, ToleratesCarriageReturn) {
+  const auto fields = split_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(escape_csv_field("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(std::vector<std::string>{"name", "value"});
+  writer.write_row(std::vector<std::string>{"with,comma", "1.5"});
+  writer.write_row(std::vector<std::string>{"with\"quote", "-2"});
+
+  std::istringstream in(out.str());
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "with,comma");
+  EXPECT_EQ(doc.rows[1][0], "with\"quote");
+}
+
+TEST(CsvDocumentTest, ColumnLookup) {
+  std::istringstream in("x,y,z\n1,2,3\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.column("y"), 1u);
+  EXPECT_EQ(doc.column("missing"), CsvDocument::npos);
+}
+
+TEST(CsvReadTest, SkipsEmptyLines) {
+  std::istringstream in("a,b\n\n1,2\n\n3,4\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvReadTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvWriterTest, DoubleRowsRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(std::vector<std::string>{"v"});
+  writer.write_row(std::vector<double>{0.123456789012});
+  std::istringstream in(out.str());
+  const CsvDocument doc = read_csv(in);
+  EXPECT_NEAR(std::stod(doc.rows[0][0]), 0.123456789012, 1e-12);
+}
+
+TEST(FormatDoubleTest, CompactOutput) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.25, 3), "0.25");
+}
+
+}  // namespace
+}  // namespace corp::util

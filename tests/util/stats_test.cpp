@@ -1,0 +1,188 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corp::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(1.0, 3.0);
+    (i < 40 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(PercentileTest, ClampsQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(SummaryTest, FullSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 0.1);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.84134474), 1.0, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-4);
+}
+
+TEST(NormalQuantileTest, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+}
+
+TEST(NormalQuantileTest, InverseOfCdf) {
+  for (double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7);
+  }
+}
+
+TEST(ZHalfAlphaTest, MatchesConfidenceIntervals) {
+  // theta = 0.05 (95% confidence) -> z = 1.96.
+  EXPECT_NEAR(z_half_alpha(0.05), 1.959964, 1e-5);
+  // theta = 0.10 (90% confidence) -> z = 1.645.
+  EXPECT_NEAR(z_half_alpha(0.10), 1.644854, 1e-5);
+}
+
+TEST(ZHalfAlphaTest, MonotoneInConfidence) {
+  // Higher confidence (smaller theta) gives a wider interval.
+  EXPECT_GT(z_half_alpha(0.05), z_half_alpha(0.30));
+}
+
+TEST(ZHalfAlphaTest, RejectsOutOfRange) {
+  EXPECT_THROW(z_half_alpha(0.0), std::domain_error);
+  EXPECT_THROW(z_half_alpha(1.0), std::domain_error);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, {}), 0.0);
+}
+
+TEST(ErrorMetricsTest, RmseAndMae) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> truth{1.0, 4.0, 1.0};
+  EXPECT_NEAR(rmse(pred, truth), std::sqrt((0.0 + 4.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, truth), (0.0 + 2.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(ErrorMetricsTest, MismatchedSizesReturnZero) {
+  EXPECT_DOUBLE_EQ(rmse(std::vector<double>{1.0}, std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mae(std::vector<double>{1.0}, std::vector<double>{}), 0.0);
+}
+
+// Property: z_half_alpha over the Table II significance range is finite
+// and decreasing.
+class ZSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZSweepTest, FiniteAndPositive) {
+  const double z = z_half_alpha(GetParam());
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_GT(z, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIISignificanceLevels, ZSweepTest,
+                         ::testing::Values(0.05, 0.10, 0.15, 0.20, 0.25,
+                                           0.30));
+
+}  // namespace
+}  // namespace corp::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace corp::util {
+namespace {
+
+TEST(TextTableTest, HeaderAppearsInOutput) {
+  TextTable table({"method", "value"});
+  table.add_row({"CORP", "0.75"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("CORP"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatsWithPrecision) {
+  TextTable table({"x", "y"});
+  table.add_row("50", {0.123456}, 4);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("0.1235"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  // Rendering must not crash and includes the separator line.
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table({"name", "v"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "2"});
+  const std::string out = table.to_string();
+  // Both data lines should place the second column at the same offset.
+  std::istringstream is(out);
+  std::string line, l1, l2;
+  std::getline(is, line);  // header
+  std::getline(is, line);  // separator
+  std::getline(is, l1);
+  std::getline(is, l2);
+  EXPECT_EQ(l1.find(" 1"), l2.find(" 2"));
+}
+
+TEST(TextTableTest, PrintWritesToStream) {
+  TextTable table({"h"});
+  table.add_row({"x"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace corp::util

@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace corp::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(500, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForComputesSum) {
+  ThreadPool pool(3);
+  std::vector<long> partial(1000, 0);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    partial[i] = static_cast<long>(i);
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 999L * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace corp::util

@@ -1,0 +1,120 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corp::util {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeries ts(4);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.capacity(), 4u);
+}
+
+TEST(TimeSeriesTest, ZeroCapacityCoercedToOne) {
+  TimeSeries ts(0);
+  EXPECT_EQ(ts.capacity(), 1u);
+  ts.push(1.0);
+  ts.push(2.0);
+  EXPECT_DOUBLE_EQ(ts.back(), 2.0);
+}
+
+TEST(TimeSeriesTest, PushAndIndexChronological) {
+  TimeSeries ts(3);
+  ts.push(1.0);
+  ts.push(2.0);
+  EXPECT_DOUBLE_EQ(ts.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.back(), 2.0);
+}
+
+TEST(TimeSeriesTest, EvictsOldestWhenFull) {
+  TimeSeries ts(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) ts.push(x);
+  EXPECT_TRUE(ts.full());
+  EXPECT_DOUBLE_EQ(ts.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(2), 5.0);
+}
+
+TEST(TimeSeriesTest, AtOutOfRangeThrows) {
+  TimeSeries ts(3);
+  ts.push(1.0);
+  EXPECT_THROW(ts.at(1), std::out_of_range);
+  TimeSeries empty(2);
+  EXPECT_THROW(empty.back(), std::out_of_range);
+}
+
+TEST(TimeSeriesTest, LastReturnsMostRecent) {
+  TimeSeries ts(5);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) ts.push(x);
+  const auto last2 = ts.last(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_DOUBLE_EQ(last2[0], 3.0);
+  EXPECT_DOUBLE_EQ(last2[1], 4.0);
+}
+
+TEST(TimeSeriesTest, LastClampsToSize) {
+  TimeSeries ts(5);
+  ts.push(7.0);
+  const auto all = ts.last(100);
+  ASSERT_EQ(all.size(), 1u);
+}
+
+TEST(TimeSeriesTest, SnapshotAfterWrap) {
+  TimeSeries ts(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) ts.push(x);
+  const auto snap = ts.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0], 2.0);
+  EXPECT_DOUBLE_EQ(snap[2], 4.0);
+}
+
+TEST(TimeSeriesTest, MinMaxMean) {
+  TimeSeries ts(10);
+  for (double x : {4.0, 1.0, 7.0}) ts.push(x);
+  EXPECT_DOUBLE_EQ(ts.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 4.0);
+}
+
+TEST(TimeSeriesTest, EmptyStatsAreZero) {
+  TimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, ClearEmpties) {
+  TimeSeries ts(4);
+  ts.push(1.0);
+  ts.clear();
+  EXPECT_TRUE(ts.empty());
+  ts.push(9.0);
+  EXPECT_DOUBLE_EQ(ts.back(), 9.0);
+}
+
+TEST(WindowRangesTest, ComputesPerWindowRange) {
+  const std::vector<double> series{1.0, 3.0, 2.0, 8.0, 5.0, 5.0};
+  const auto ranges = window_ranges(series, 2);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranges[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranges[1], 6.0);
+  EXPECT_DOUBLE_EQ(ranges[2], 0.0);
+}
+
+TEST(WindowRangesTest, DropsTrailingPartialWindow) {
+  const std::vector<double> series{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ranges = window_ranges(series, 2);
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST(WindowRangesTest, DegenerateInputs) {
+  EXPECT_TRUE(window_ranges({}, 3).empty());
+  const std::vector<double> series{1.0, 2.0};
+  EXPECT_TRUE(window_ranges(series, 0).empty());
+  EXPECT_TRUE(window_ranges(series, 3).empty());
+}
+
+}  // namespace
+}  // namespace corp::util

@@ -1,0 +1,307 @@
+// corpsim — the command-line driver for the CORP reproduction.
+//
+//   corpsim run        run one method on one workload, print metrics
+//   corpsim compare    run all four methods on the same workload
+//   corpsim replicate  multi-seed replication with confidence intervals
+//   corpsim trace-gen  synthesize a workload trace to CSV
+//   corpsim convert    convert Google clusterdata-2011 extracts to CSV
+//   corpsim help       this text
+//
+// Common flags: --env cluster|ec2, --jobs N, --seed S,
+//               --workload paper-sweep|burst|trickle|heavy-tail|mixed-services,
+//               --aggressiveness A (0..1), --method corp|rccr|cloudscale|dra
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "predict/backtest.hpp"
+#include "sim/replication.hpp"
+#include "sim/workloads.hpp"
+#include "trace/google_format.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace corp;
+
+int usage() {
+  std::cout <<
+      R"(corpsim — CORP (CLUSTER 2016) reproduction driver
+
+subcommands:
+  run        --method corp|rccr|cloudscale|dra [--jobs N] [--env cluster|ec2]
+             [--workload KIND] [--aggressiveness A] [--seed S]
+             [--timeline out.csv]
+  compare    like run, but all four methods side by side
+  replicate  --method M [--reps R] [--jobs N] ... adds confidence intervals
+  trace-gen  --out trace.csv [--jobs N] [--workload KIND] [--seed S]
+  stats      --trace trace.csv | [--jobs N --workload KIND --seed S]
+  backtest   --method M [--jobs N] ... walk-forward forecast scoring
+  convert    --events task_events.csv --usage task_usage.csv --out trace.csv
+  help
+
+workload kinds: paper-sweep (default), burst, trickle, heavy-tail,
+                mixed-services
+)";
+  return 0;
+}
+
+cluster::EnvironmentConfig env_from(const util::ArgParser& args) {
+  const std::string name = args.get("env", "cluster");
+  if (name == "cluster") return cluster::EnvironmentConfig::PalmettoCluster();
+  if (name == "ec2") return cluster::EnvironmentConfig::AmazonEc2();
+  throw std::invalid_argument("unknown --env " + name + " (cluster|ec2)");
+}
+
+predict::Method method_from(const std::string& name) {
+  if (name == "corp") return predict::Method::kCorp;
+  if (name == "rccr") return predict::Method::kRccr;
+  if (name == "cloudscale") return predict::Method::kCloudScale;
+  if (name == "dra") return predict::Method::kDra;
+  throw std::invalid_argument("unknown --method " + name);
+}
+
+sim::WorkloadKind workload_from(const std::string& name) {
+  for (sim::WorkloadKind kind : sim::kAllWorkloads) {
+    if (sim::workload_name(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown --workload " + name);
+}
+
+struct RunSetup {
+  sim::ExperimentConfig experiment;
+  sim::WorkloadKind workload = sim::WorkloadKind::kPaperSweep;
+  std::size_t jobs = 150;
+  double aggressiveness = 0.35;
+};
+
+RunSetup setup_from(const util::ArgParser& args) {
+  RunSetup setup;
+  setup.experiment.environment = env_from(args);
+  setup.experiment.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+  setup.workload = workload_from(args.get("workload", "paper-sweep"));
+  setup.jobs = static_cast<std::size_t>(args.get_int("jobs", 150));
+  setup.aggressiveness = args.get_double("aggressiveness", 0.35);
+  return setup;
+}
+
+/// Runs one method on the setup's workload (bypasses run_point so the
+/// workload kind is honoured).
+sim::PointResult run_method(const RunSetup& setup, predict::Method method,
+                            const std::string& timeline_path) {
+  const auto& experiment = setup.experiment;
+  trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
+      experiment.environment, experiment.training_jobs,
+      experiment.training_horizon_slots));
+  util::Rng train_rng(experiment.seed * 7919 + 1);
+  const trace::Trace training = train_gen.generate(train_rng);
+
+  trace::GoogleTraceGenerator eval_gen(sim::workload_config(
+      setup.workload, experiment.environment, setup.jobs));
+  util::Rng eval_rng(experiment.seed * 104729 + setup.jobs * 17 + 2);
+  const trace::Trace evaluation = eval_gen.generate(eval_rng);
+
+  sim::SimulationConfig config = sim::make_simulation_config(
+      experiment, method, setup.aggressiveness);
+  config.record_timeline = !timeline_path.empty();
+  config.grace_slots = 1200;  // room for mixed-services workloads
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+  sim::PointResult result;
+  result.prediction =
+      sim::evaluate_prediction_error(simulation.predictor(), evaluation);
+  result.sim = simulation.run(evaluation);
+
+  if (!timeline_path.empty()) {
+    std::ofstream out(timeline_path);
+    if (!out) throw std::runtime_error("cannot open " + timeline_path);
+    result.sim.timeline.write_csv(out);
+    std::cout << "timeline written to " << timeline_path << '\n';
+  }
+  return result;
+}
+
+void print_results(const std::vector<predict::Method>& methods,
+                   const std::vector<sim::PointResult>& results) {
+  util::TextTable table({"method", "overall util", "slo violation",
+                         "pred error", "opportunistic", "latency ms"});
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row(std::string(predict::method_name(methods[i])),
+                  {r.sim.overall_utilization, r.sim.slo_violation_rate,
+                   r.prediction.error_rate,
+                   static_cast<double>(r.sim.opportunistic_placements),
+                   r.sim.total_latency_ms});
+  }
+  std::cout << table.to_string();
+}
+
+int cmd_run(const util::ArgParser& args) {
+  const RunSetup setup = setup_from(args);
+  const predict::Method method = method_from(args.get("method", "corp"));
+  std::cout << "running " << predict::method_name(method) << " on "
+            << sim::workload_name(setup.workload) << " (" << setup.jobs
+            << " jobs, " << setup.experiment.environment.name << ")\n";
+  const auto result = run_method(setup, method, args.get("timeline", ""));
+  print_results({method}, {result});
+  return 0;
+}
+
+int cmd_compare(const util::ArgParser& args) {
+  const RunSetup setup = setup_from(args);
+  std::cout << "comparing all methods on "
+            << sim::workload_name(setup.workload) << " (" << setup.jobs
+            << " jobs, " << setup.experiment.environment.name << ")\n";
+  std::vector<predict::Method> methods(std::begin(predict::kAllMethods),
+                                       std::end(predict::kAllMethods));
+  std::vector<sim::PointResult> results;
+  for (predict::Method m : methods) {
+    results.push_back(run_method(setup, m, ""));
+  }
+  print_results(methods, results);
+  return 0;
+}
+
+int cmd_replicate(const util::ArgParser& args) {
+  const RunSetup setup = setup_from(args);
+  const predict::Method method = method_from(args.get("method", "corp"));
+  sim::ReplicationConfig replication;
+  replication.replications =
+      static_cast<std::size_t>(args.get_int("reps", 5));
+  std::cout << "replicating " << predict::method_name(method) << " x"
+            << replication.replications << " (" << setup.jobs
+            << " jobs)\n";
+  const sim::ReplicatedPoint point = sim::run_replicated_point(
+      setup.experiment, method, setup.jobs, replication,
+      setup.aggressiveness);
+  util::TextTable table({"metric", "mean", "95% half-width", "min", "max"});
+  auto row = [&](const char* name, const sim::MetricEstimate& m) {
+    table.add_row(name, {m.mean, m.half_width, m.min, m.max});
+  };
+  row("overall utilization", point.overall_utilization);
+  row("slo violation rate", point.slo_violation_rate);
+  row("prediction error rate", point.prediction_error_rate);
+  row("opportunistic placements", point.opportunistic_placements);
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_trace_gen(const util::ArgParser& args) {
+  const RunSetup setup = setup_from(args);
+  const std::string out = args.get("out", "trace.csv");
+  trace::GoogleTraceGenerator gen(sim::workload_config(
+      setup.workload, setup.experiment.environment, setup.jobs));
+  util::Rng rng(setup.experiment.seed);
+  const trace::Trace trace = gen.generate(rng);
+  trace::write_trace_csv_file(trace, out);
+  std::cout << "wrote " << trace.size() << " tasks ("
+            << sim::workload_name(setup.workload) << ") to " << out << '\n';
+  return 0;
+}
+
+int cmd_stats(const util::ArgParser& args) {
+  trace::Trace trace;
+  if (args.has("trace")) {
+    trace = trace::read_trace_csv_file(args.get("trace", ""));
+    std::cout << "trace " << args.get("trace", "") << ":\n\n";
+  } else {
+    const RunSetup setup = setup_from(args);
+    trace::GoogleTraceGenerator gen(sim::workload_config(
+        setup.workload, setup.experiment.environment, setup.jobs));
+    util::Rng rng(setup.experiment.seed);
+    trace = gen.generate(rng);
+    std::cout << "synthetic " << sim::workload_name(setup.workload)
+              << " workload:\n\n";
+  }
+  trace::print_stats(trace::compute_stats(trace), std::cout);
+  return 0;
+}
+
+int cmd_backtest(const util::ArgParser& args) {
+  const RunSetup setup = setup_from(args);
+  const predict::Method method = method_from(args.get("method", "corp"));
+  const auto& experiment = setup.experiment;
+
+  trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
+      experiment.environment, experiment.training_jobs,
+      experiment.training_horizon_slots));
+  util::Rng train_rng(experiment.seed * 7919 + 1);
+  const trace::Trace training = train_gen.generate(train_rng);
+  trace::GoogleTraceGenerator eval_gen(sim::workload_config(
+      setup.workload, experiment.environment, setup.jobs));
+  util::Rng eval_rng(experiment.seed * 104729 + 2);
+  const trace::Trace evaluation = eval_gen.generate(eval_rng);
+
+  const predict::VectorCorpus train_corpus =
+      sim::build_unused_corpus(training);
+  const predict::VectorCorpus eval_corpus =
+      sim::build_unused_corpus(evaluation);
+
+  const predict::StackConfig stack_config =
+      *sim::make_simulation_config(experiment, method,
+                                   setup.aggressiveness)
+           .stack;
+  util::Rng rng(experiment.seed * 31);
+  auto stack = predict::make_stack(method, stack_config, rng);
+  std::cout << "backtesting " << predict::method_name(method)
+            << " on unused-CPU (request-normalized)...\n";
+  stack->train(train_corpus.per_type[0]);
+  const predict::BacktestReport report =
+      predict::backtest(*stack, eval_corpus.per_type[0]);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row("forecasts", {static_cast<double>(report.forecasts)});
+  table.add_row("rmse", {report.rmse});
+  table.add_row("mae", {report.mae});
+  table.add_row("bias (actual - predicted)", {report.bias});
+  table.add_row("coverage P(delta >= 0)", {report.coverage});
+  table.add_row("band rate P(0 <= delta < eps)", {report.band_rate});
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_convert(const util::ArgParser& args) {
+  const std::string events = args.get("events", "");
+  const std::string usage_path = args.get("usage", "");
+  const std::string out = args.get("out", "trace.csv");
+  if (events.empty() || usage_path.empty()) {
+    std::cerr << "convert requires --events and --usage\n";
+    return 2;
+  }
+  trace::GoogleFormatConfig config;
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  const trace::Trace trace =
+      trace::load_google_trace(events, usage_path, config, rng);
+  trace::write_trace_csv_file(trace, out);
+  std::cout << "converted " << trace.size() << " short-lived tasks to "
+            << out << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const util::ArgParser args(argc, argv, 2);
+    if (command == "run") return cmd_run(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "replicate") return cmd_replicate(args);
+    if (command == "trace-gen") return cmd_trace_gen(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "backtest") return cmd_backtest(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "help" || command == "--help") return usage();
+    std::cerr << "unknown subcommand '" << command << "'\n\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
