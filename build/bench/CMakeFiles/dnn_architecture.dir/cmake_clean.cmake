@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_architecture.dir/dnn_architecture.cpp.o"
+  "CMakeFiles/dnn_architecture.dir/dnn_architecture.cpp.o.d"
+  "dnn_architecture"
+  "dnn_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

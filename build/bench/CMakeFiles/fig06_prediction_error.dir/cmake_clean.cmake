@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prediction_error.dir/fig06_prediction_error.cpp.o"
+  "CMakeFiles/fig06_prediction_error.dir/fig06_prediction_error.cpp.o.d"
+  "fig06_prediction_error"
+  "fig06_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_utilization_cluster.dir/fig07_utilization_cluster.cpp.o"
+  "CMakeFiles/fig07_utilization_cluster.dir/fig07_utilization_cluster.cpp.o.d"
+  "fig07_utilization_cluster"
+  "fig07_utilization_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_utilization_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_util_vs_slo_cluster.dir/fig08_util_vs_slo_cluster.cpp.o"
+  "CMakeFiles/fig08_util_vs_slo_cluster.dir/fig08_util_vs_slo_cluster.cpp.o.d"
+  "fig08_util_vs_slo_cluster"
+  "fig08_util_vs_slo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_util_vs_slo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

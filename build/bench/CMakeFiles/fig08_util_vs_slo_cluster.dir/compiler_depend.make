@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_util_vs_slo_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_slo_vs_confidence_cluster.dir/fig09_slo_vs_confidence_cluster.cpp.o"
+  "CMakeFiles/fig09_slo_vs_confidence_cluster.dir/fig09_slo_vs_confidence_cluster.cpp.o.d"
+  "fig09_slo_vs_confidence_cluster"
+  "fig09_slo_vs_confidence_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_slo_vs_confidence_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overhead_cluster.dir/fig10_overhead_cluster.cpp.o"
+  "CMakeFiles/fig10_overhead_cluster.dir/fig10_overhead_cluster.cpp.o.d"
+  "fig10_overhead_cluster"
+  "fig10_overhead_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overhead_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

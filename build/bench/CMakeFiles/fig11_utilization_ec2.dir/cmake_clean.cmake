@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_utilization_ec2.dir/fig11_utilization_ec2.cpp.o"
+  "CMakeFiles/fig11_utilization_ec2.dir/fig11_utilization_ec2.cpp.o.d"
+  "fig11_utilization_ec2"
+  "fig11_utilization_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_utilization_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_util_vs_slo_ec2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_slo_vs_confidence_ec2.dir/fig13_slo_vs_confidence_ec2.cpp.o"
+  "CMakeFiles/fig13_slo_vs_confidence_ec2.dir/fig13_slo_vs_confidence_ec2.cpp.o.d"
+  "fig13_slo_vs_confidence_ec2"
+  "fig13_slo_vs_confidence_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_slo_vs_confidence_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

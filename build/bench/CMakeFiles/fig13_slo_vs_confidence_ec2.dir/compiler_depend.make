@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_slo_vs_confidence_ec2.
+# This may be replaced when dependencies are built.

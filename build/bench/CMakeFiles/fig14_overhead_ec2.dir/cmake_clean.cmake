@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overhead_ec2.dir/fig14_overhead_ec2.cpp.o"
+  "CMakeFiles/fig14_overhead_ec2.dir/fig14_overhead_ec2.cpp.o.d"
+  "fig14_overhead_ec2"
+  "fig14_overhead_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overhead_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

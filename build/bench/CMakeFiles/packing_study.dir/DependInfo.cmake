@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/packing_study.cpp" "bench/CMakeFiles/packing_study.dir/packing_study.cpp.o" "gcc" "bench/CMakeFiles/packing_study.dir/packing_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/corp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/corp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/corp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/corp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/corp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/corp_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/corp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packing_study.dir/packing_study.cpp.o"
+  "CMakeFiles/packing_study.dir/packing_study.cpp.o.d"
+  "packing_study"
+  "packing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_sweeps.dir/sensitivity_sweeps.cpp.o"
+  "CMakeFiles/sensitivity_sweeps.dir/sensitivity_sweeps.cpp.o.d"
+  "sensitivity_sweeps"
+  "sensitivity_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_query_burst.dir/iot_query_burst.cpp.o"
+  "CMakeFiles/iot_query_burst.dir/iot_query_burst.cpp.o.d"
+  "iot_query_burst"
+  "iot_query_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_query_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

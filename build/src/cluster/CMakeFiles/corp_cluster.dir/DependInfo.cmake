@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/corp_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/corp_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/environment.cpp" "src/cluster/CMakeFiles/corp_cluster.dir/environment.cpp.o" "gcc" "src/cluster/CMakeFiles/corp_cluster.dir/environment.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/corp_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/corp_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/slo.cpp" "src/cluster/CMakeFiles/corp_cluster.dir/slo.cpp.o" "gcc" "src/cluster/CMakeFiles/corp_cluster.dir/slo.cpp.o.d"
+  "/root/repo/src/cluster/vm.cpp" "src/cluster/CMakeFiles/corp_cluster.dir/vm.cpp.o" "gcc" "src/cluster/CMakeFiles/corp_cluster.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/corp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/corp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/corp_cluster.dir/environment.cpp.o"
+  "CMakeFiles/corp_cluster.dir/environment.cpp.o.d"
+  "CMakeFiles/corp_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/corp_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/corp_cluster.dir/slo.cpp.o"
+  "CMakeFiles/corp_cluster.dir/slo.cpp.o.d"
+  "CMakeFiles/corp_cluster.dir/vm.cpp.o"
+  "CMakeFiles/corp_cluster.dir/vm.cpp.o.d"
+  "libcorp_cluster.a"
+  "libcorp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

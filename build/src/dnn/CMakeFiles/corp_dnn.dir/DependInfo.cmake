@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/activation.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/activation.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/activation.cpp.o.d"
+  "/root/repo/src/dnn/layer.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/layer.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/layer.cpp.o.d"
+  "/root/repo/src/dnn/loss.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/loss.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/loss.cpp.o.d"
+  "/root/repo/src/dnn/matrix.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/matrix.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/matrix.cpp.o.d"
+  "/root/repo/src/dnn/network.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/network.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/network.cpp.o.d"
+  "/root/repo/src/dnn/normalizer.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/normalizer.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/normalizer.cpp.o.d"
+  "/root/repo/src/dnn/optimizer.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/optimizer.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/dnn/parallel_trainer.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/parallel_trainer.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/parallel_trainer.cpp.o.d"
+  "/root/repo/src/dnn/trainer.cpp" "src/dnn/CMakeFiles/corp_dnn.dir/trainer.cpp.o" "gcc" "src/dnn/CMakeFiles/corp_dnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_dnn.dir/activation.cpp.o"
+  "CMakeFiles/corp_dnn.dir/activation.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/layer.cpp.o"
+  "CMakeFiles/corp_dnn.dir/layer.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/loss.cpp.o"
+  "CMakeFiles/corp_dnn.dir/loss.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/matrix.cpp.o"
+  "CMakeFiles/corp_dnn.dir/matrix.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/network.cpp.o"
+  "CMakeFiles/corp_dnn.dir/network.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/normalizer.cpp.o"
+  "CMakeFiles/corp_dnn.dir/normalizer.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/optimizer.cpp.o"
+  "CMakeFiles/corp_dnn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/parallel_trainer.cpp.o"
+  "CMakeFiles/corp_dnn.dir/parallel_trainer.cpp.o.d"
+  "CMakeFiles/corp_dnn.dir/trainer.cpp.o"
+  "CMakeFiles/corp_dnn.dir/trainer.cpp.o.d"
+  "libcorp_dnn.a"
+  "libcorp_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/hmm.cpp" "src/hmm/CMakeFiles/corp_hmm.dir/hmm.cpp.o" "gcc" "src/hmm/CMakeFiles/corp_hmm.dir/hmm.cpp.o.d"
+  "/root/repo/src/hmm/symbolizer.cpp" "src/hmm/CMakeFiles/corp_hmm.dir/symbolizer.cpp.o" "gcc" "src/hmm/CMakeFiles/corp_hmm.dir/symbolizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

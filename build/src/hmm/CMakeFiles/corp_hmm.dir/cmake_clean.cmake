@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_hmm.dir/hmm.cpp.o"
+  "CMakeFiles/corp_hmm.dir/hmm.cpp.o.d"
+  "CMakeFiles/corp_hmm.dir/symbolizer.cpp.o"
+  "CMakeFiles/corp_hmm.dir/symbolizer.cpp.o.d"
+  "libcorp_hmm.a"
+  "libcorp_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

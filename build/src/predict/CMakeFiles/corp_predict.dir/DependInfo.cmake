@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/backtest.cpp" "src/predict/CMakeFiles/corp_predict.dir/backtest.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/backtest.cpp.o.d"
+  "/root/repo/src/predict/dnn_predictor.cpp" "src/predict/CMakeFiles/corp_predict.dir/dnn_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/dnn_predictor.cpp.o.d"
+  "/root/repo/src/predict/error_tracker.cpp" "src/predict/CMakeFiles/corp_predict.dir/error_tracker.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/error_tracker.cpp.o.d"
+  "/root/repo/src/predict/ets_predictor.cpp" "src/predict/CMakeFiles/corp_predict.dir/ets_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/ets_predictor.cpp.o.d"
+  "/root/repo/src/predict/hmm_corrector.cpp" "src/predict/CMakeFiles/corp_predict.dir/hmm_corrector.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/hmm_corrector.cpp.o.d"
+  "/root/repo/src/predict/markov_predictor.cpp" "src/predict/CMakeFiles/corp_predict.dir/markov_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/markov_predictor.cpp.o.d"
+  "/root/repo/src/predict/mean_predictor.cpp" "src/predict/CMakeFiles/corp_predict.dir/mean_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/mean_predictor.cpp.o.d"
+  "/root/repo/src/predict/stacks.cpp" "src/predict/CMakeFiles/corp_predict.dir/stacks.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/stacks.cpp.o.d"
+  "/root/repo/src/predict/vector_predictor.cpp" "src/predict/CMakeFiles/corp_predict.dir/vector_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/corp_predict.dir/vector_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/corp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/corp_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/corp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_predict.dir/backtest.cpp.o"
+  "CMakeFiles/corp_predict.dir/backtest.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/dnn_predictor.cpp.o"
+  "CMakeFiles/corp_predict.dir/dnn_predictor.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/error_tracker.cpp.o"
+  "CMakeFiles/corp_predict.dir/error_tracker.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/ets_predictor.cpp.o"
+  "CMakeFiles/corp_predict.dir/ets_predictor.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/hmm_corrector.cpp.o"
+  "CMakeFiles/corp_predict.dir/hmm_corrector.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/markov_predictor.cpp.o"
+  "CMakeFiles/corp_predict.dir/markov_predictor.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/mean_predictor.cpp.o"
+  "CMakeFiles/corp_predict.dir/mean_predictor.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/stacks.cpp.o"
+  "CMakeFiles/corp_predict.dir/stacks.cpp.o.d"
+  "CMakeFiles/corp_predict.dir/vector_predictor.cpp.o"
+  "CMakeFiles/corp_predict.dir/vector_predictor.cpp.o.d"
+  "libcorp_predict.a"
+  "libcorp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for corp_predict.
+# This may be replaced when dependencies are built.

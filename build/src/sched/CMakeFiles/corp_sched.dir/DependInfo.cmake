@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baseline_schedulers.cpp" "src/sched/CMakeFiles/corp_sched.dir/baseline_schedulers.cpp.o" "gcc" "src/sched/CMakeFiles/corp_sched.dir/baseline_schedulers.cpp.o.d"
+  "/root/repo/src/sched/corp_scheduler.cpp" "src/sched/CMakeFiles/corp_sched.dir/corp_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/corp_sched.dir/corp_scheduler.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/corp_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/corp_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/packing.cpp" "src/sched/CMakeFiles/corp_sched.dir/packing.cpp.o" "gcc" "src/sched/CMakeFiles/corp_sched.dir/packing.cpp.o.d"
+  "/root/repo/src/sched/volume.cpp" "src/sched/CMakeFiles/corp_sched.dir/volume.cpp.o" "gcc" "src/sched/CMakeFiles/corp_sched.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/corp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/corp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/corp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/corp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/corp_hmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_sched.dir/baseline_schedulers.cpp.o"
+  "CMakeFiles/corp_sched.dir/baseline_schedulers.cpp.o.d"
+  "CMakeFiles/corp_sched.dir/corp_scheduler.cpp.o"
+  "CMakeFiles/corp_sched.dir/corp_scheduler.cpp.o.d"
+  "CMakeFiles/corp_sched.dir/factory.cpp.o"
+  "CMakeFiles/corp_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/corp_sched.dir/packing.cpp.o"
+  "CMakeFiles/corp_sched.dir/packing.cpp.o.d"
+  "CMakeFiles/corp_sched.dir/volume.cpp.o"
+  "CMakeFiles/corp_sched.dir/volume.cpp.o.d"
+  "libcorp_sched.a"
+  "libcorp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

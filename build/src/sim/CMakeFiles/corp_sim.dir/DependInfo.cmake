@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/corp_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/sim/CMakeFiles/corp_sim.dir/params.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/params.cpp.o.d"
+  "/root/repo/src/sim/prediction_eval.cpp" "src/sim/CMakeFiles/corp_sim.dir/prediction_eval.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/prediction_eval.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "src/sim/CMakeFiles/corp_sim.dir/replication.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/replication.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/corp_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/corp_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/sim/CMakeFiles/corp_sim.dir/workloads.cpp.o" "gcc" "src/sim/CMakeFiles/corp_sim.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/corp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/corp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/corp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/corp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/corp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/corp_hmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_sim.dir/experiment.cpp.o"
+  "CMakeFiles/corp_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/params.cpp.o"
+  "CMakeFiles/corp_sim.dir/params.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/prediction_eval.cpp.o"
+  "CMakeFiles/corp_sim.dir/prediction_eval.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/replication.cpp.o"
+  "CMakeFiles/corp_sim.dir/replication.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/corp_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/timeline.cpp.o"
+  "CMakeFiles/corp_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/corp_sim.dir/workloads.cpp.o"
+  "CMakeFiles/corp_sim.dir/workloads.cpp.o.d"
+  "libcorp_sim.a"
+  "libcorp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

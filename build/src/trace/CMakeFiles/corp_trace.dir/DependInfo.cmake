@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/corp_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/google_format.cpp" "src/trace/CMakeFiles/corp_trace.dir/google_format.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/google_format.cpp.o.d"
+  "/root/repo/src/trace/job.cpp" "src/trace/CMakeFiles/corp_trace.dir/job.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/job.cpp.o.d"
+  "/root/repo/src/trace/resampler.cpp" "src/trace/CMakeFiles/corp_trace.dir/resampler.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/resampler.cpp.o.d"
+  "/root/repo/src/trace/resources.cpp" "src/trace/CMakeFiles/corp_trace.dir/resources.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/resources.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/corp_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/corp_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/corp_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/corp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_trace.dir/generator.cpp.o"
+  "CMakeFiles/corp_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/google_format.cpp.o"
+  "CMakeFiles/corp_trace.dir/google_format.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/job.cpp.o"
+  "CMakeFiles/corp_trace.dir/job.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/resampler.cpp.o"
+  "CMakeFiles/corp_trace.dir/resampler.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/resources.cpp.o"
+  "CMakeFiles/corp_trace.dir/resources.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/stats.cpp.o"
+  "CMakeFiles/corp_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/corp_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/corp_trace.dir/trace_io.cpp.o.d"
+  "libcorp_trace.a"
+  "libcorp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corp_util.dir/cli.cpp.o"
+  "CMakeFiles/corp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/corp_util.dir/csv.cpp.o"
+  "CMakeFiles/corp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/corp_util.dir/logging.cpp.o"
+  "CMakeFiles/corp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/corp_util.dir/rng.cpp.o"
+  "CMakeFiles/corp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/corp_util.dir/stats.cpp.o"
+  "CMakeFiles/corp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/corp_util.dir/table.cpp.o"
+  "CMakeFiles/corp_util.dir/table.cpp.o.d"
+  "CMakeFiles/corp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/corp_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/corp_util.dir/time_series.cpp.o"
+  "CMakeFiles/corp_util.dir/time_series.cpp.o.d"
+  "libcorp_util.a"
+  "libcorp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

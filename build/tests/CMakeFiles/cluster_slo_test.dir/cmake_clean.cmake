@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_slo_test.dir/cluster/slo_test.cpp.o"
+  "CMakeFiles/cluster_slo_test.dir/cluster/slo_test.cpp.o.d"
+  "cluster_slo_test"
+  "cluster_slo_test.pdb"
+  "cluster_slo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_slo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

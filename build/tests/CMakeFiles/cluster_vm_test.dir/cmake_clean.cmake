@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_vm_test.dir/cluster/vm_test.cpp.o"
+  "CMakeFiles/cluster_vm_test.dir/cluster/vm_test.cpp.o.d"
+  "cluster_vm_test"
+  "cluster_vm_test.pdb"
+  "cluster_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_activation_test.dir/dnn/activation_test.cpp.o"
+  "CMakeFiles/dnn_activation_test.dir/dnn/activation_test.cpp.o.d"
+  "dnn_activation_test"
+  "dnn_activation_test.pdb"
+  "dnn_activation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_activation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_layer_test.dir/dnn/layer_test.cpp.o"
+  "CMakeFiles/dnn_layer_test.dir/dnn/layer_test.cpp.o.d"
+  "dnn_layer_test"
+  "dnn_layer_test.pdb"
+  "dnn_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

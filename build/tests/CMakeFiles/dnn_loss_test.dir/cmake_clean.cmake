@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_loss_test.dir/dnn/loss_test.cpp.o"
+  "CMakeFiles/dnn_loss_test.dir/dnn/loss_test.cpp.o.d"
+  "dnn_loss_test"
+  "dnn_loss_test.pdb"
+  "dnn_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_matrix_test.dir/dnn/matrix_test.cpp.o"
+  "CMakeFiles/dnn_matrix_test.dir/dnn/matrix_test.cpp.o.d"
+  "dnn_matrix_test"
+  "dnn_matrix_test.pdb"
+  "dnn_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

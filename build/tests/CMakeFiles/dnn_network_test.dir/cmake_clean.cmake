@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_network_test.dir/dnn/network_test.cpp.o"
+  "CMakeFiles/dnn_network_test.dir/dnn/network_test.cpp.o.d"
+  "dnn_network_test"
+  "dnn_network_test.pdb"
+  "dnn_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_normalizer_test.dir/dnn/normalizer_test.cpp.o"
+  "CMakeFiles/dnn_normalizer_test.dir/dnn/normalizer_test.cpp.o.d"
+  "dnn_normalizer_test"
+  "dnn_normalizer_test.pdb"
+  "dnn_normalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_optimizer_test.dir/dnn/optimizer_test.cpp.o"
+  "CMakeFiles/dnn_optimizer_test.dir/dnn/optimizer_test.cpp.o.d"
+  "dnn_optimizer_test"
+  "dnn_optimizer_test.pdb"
+  "dnn_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

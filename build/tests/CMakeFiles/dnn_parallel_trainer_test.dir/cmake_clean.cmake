@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_parallel_trainer_test.dir/dnn/parallel_trainer_test.cpp.o"
+  "CMakeFiles/dnn_parallel_trainer_test.dir/dnn/parallel_trainer_test.cpp.o.d"
+  "dnn_parallel_trainer_test"
+  "dnn_parallel_trainer_test.pdb"
+  "dnn_parallel_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_parallel_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_model_test.dir/hmm/hmm_test.cpp.o"
+  "CMakeFiles/hmm_model_test.dir/hmm/hmm_test.cpp.o.d"
+  "hmm_model_test"
+  "hmm_model_test.pdb"
+  "hmm_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_symbolizer_test.dir/hmm/symbolizer_test.cpp.o"
+  "CMakeFiles/hmm_symbolizer_test.dir/hmm/symbolizer_test.cpp.o.d"
+  "hmm_symbolizer_test"
+  "hmm_symbolizer_test.pdb"
+  "hmm_symbolizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_symbolizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_backtest_test.dir/predict/backtest_test.cpp.o"
+  "CMakeFiles/predict_backtest_test.dir/predict/backtest_test.cpp.o.d"
+  "predict_backtest_test"
+  "predict_backtest_test.pdb"
+  "predict_backtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_backtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_error_tracker_test.dir/predict/error_tracker_test.cpp.o"
+  "CMakeFiles/predict_error_tracker_test.dir/predict/error_tracker_test.cpp.o.d"
+  "predict_error_tracker_test"
+  "predict_error_tracker_test.pdb"
+  "predict_error_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_error_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

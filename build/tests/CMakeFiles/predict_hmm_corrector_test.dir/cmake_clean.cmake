@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_hmm_corrector_test.dir/predict/hmm_corrector_test.cpp.o"
+  "CMakeFiles/predict_hmm_corrector_test.dir/predict/hmm_corrector_test.cpp.o.d"
+  "predict_hmm_corrector_test"
+  "predict_hmm_corrector_test.pdb"
+  "predict_hmm_corrector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_hmm_corrector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_predictors_test.dir/predict/predictors_test.cpp.o"
+  "CMakeFiles/predict_predictors_test.dir/predict/predictors_test.cpp.o.d"
+  "predict_predictors_test"
+  "predict_predictors_test.pdb"
+  "predict_predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

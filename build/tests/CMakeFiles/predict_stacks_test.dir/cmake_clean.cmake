@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_stacks_test.dir/predict/stacks_test.cpp.o"
+  "CMakeFiles/predict_stacks_test.dir/predict/stacks_test.cpp.o.d"
+  "predict_stacks_test"
+  "predict_stacks_test.pdb"
+  "predict_stacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_stacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

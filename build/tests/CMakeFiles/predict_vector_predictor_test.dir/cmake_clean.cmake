@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_vector_predictor_test.dir/predict/vector_predictor_test.cpp.o"
+  "CMakeFiles/predict_vector_predictor_test.dir/predict/vector_predictor_test.cpp.o.d"
+  "predict_vector_predictor_test"
+  "predict_vector_predictor_test.pdb"
+  "predict_vector_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_vector_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

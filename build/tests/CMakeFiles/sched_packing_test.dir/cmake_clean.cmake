@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_packing_test.dir/sched/packing_test.cpp.o"
+  "CMakeFiles/sched_packing_test.dir/sched/packing_test.cpp.o.d"
+  "sched_packing_test"
+  "sched_packing_test.pdb"
+  "sched_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_volume_test.dir/sched/volume_test.cpp.o"
+  "CMakeFiles/sched_volume_test.dir/sched/volume_test.cpp.o.d"
+  "sched_volume_test"
+  "sched_volume_test.pdb"
+  "sched_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

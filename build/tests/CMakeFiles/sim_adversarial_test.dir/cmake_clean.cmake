@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_adversarial_test.dir/sim/adversarial_test.cpp.o"
+  "CMakeFiles/sim_adversarial_test.dir/sim/adversarial_test.cpp.o.d"
+  "sim_adversarial_test"
+  "sim_adversarial_test.pdb"
+  "sim_adversarial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

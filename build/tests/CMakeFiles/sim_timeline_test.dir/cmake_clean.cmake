@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timeline_test.dir/sim/timeline_test.cpp.o"
+  "CMakeFiles/sim_timeline_test.dir/sim/timeline_test.cpp.o.d"
+  "sim_timeline_test"
+  "sim_timeline_test.pdb"
+  "sim_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

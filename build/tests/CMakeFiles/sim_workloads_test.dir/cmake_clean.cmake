@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_workloads_test.dir/sim/workloads_test.cpp.o"
+  "CMakeFiles/sim_workloads_test.dir/sim/workloads_test.cpp.o.d"
+  "sim_workloads_test"
+  "sim_workloads_test.pdb"
+  "sim_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

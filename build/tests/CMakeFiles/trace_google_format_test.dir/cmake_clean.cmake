@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_google_format_test.dir/trace/google_format_test.cpp.o"
+  "CMakeFiles/trace_google_format_test.dir/trace/google_format_test.cpp.o.d"
+  "trace_google_format_test"
+  "trace_google_format_test.pdb"
+  "trace_google_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_google_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

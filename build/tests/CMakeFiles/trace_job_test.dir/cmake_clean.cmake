@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_job_test.dir/trace/job_test.cpp.o"
+  "CMakeFiles/trace_job_test.dir/trace/job_test.cpp.o.d"
+  "trace_job_test"
+  "trace_job_test.pdb"
+  "trace_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

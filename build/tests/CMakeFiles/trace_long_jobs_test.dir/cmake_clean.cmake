@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_long_jobs_test.dir/trace/long_jobs_test.cpp.o"
+  "CMakeFiles/trace_long_jobs_test.dir/trace/long_jobs_test.cpp.o.d"
+  "trace_long_jobs_test"
+  "trace_long_jobs_test.pdb"
+  "trace_long_jobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_long_jobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_resampler_test.dir/trace/resampler_test.cpp.o"
+  "CMakeFiles/trace_resampler_test.dir/trace/resampler_test.cpp.o.d"
+  "trace_resampler_test"
+  "trace_resampler_test.pdb"
+  "trace_resampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_resampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_resources_test.dir/trace/resources_test.cpp.o"
+  "CMakeFiles/trace_resources_test.dir/trace/resources_test.cpp.o.d"
+  "trace_resources_test"
+  "trace_resources_test.pdb"
+  "trace_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpsim.dir/corpsim.cpp.o"
+  "CMakeFiles/corpsim.dir/corpsim.cpp.o.d"
+  "corpsim"
+  "corpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

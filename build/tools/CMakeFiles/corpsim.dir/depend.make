@@ -1,0 +1,2 @@
+# Empty dependencies file for corpsim.
+# This may be replaced when dependencies are built.
