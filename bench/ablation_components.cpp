@@ -25,9 +25,9 @@ struct Variant {
 sim::PointResult run_variant(const sim::ExperimentConfig& experiment,
                              const Variant& variant, std::size_t num_jobs) {
   // Rebuild the run_point pipeline with the CORP ablation switches set.
-  const std::uint64_t train_seed = experiment.seed * 7919 + 1;
+  const std::uint64_t train_seed = sim::training_seed(experiment.seed);
   const std::uint64_t eval_seed =
-      experiment.seed * 104729 + num_jobs * 17 + 2;
+      sim::evaluation_seed(experiment.seed, num_jobs);
 
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
@@ -60,8 +60,9 @@ sim::PointResult run_variant(const sim::ExperimentConfig& experiment,
 
 }  // namespace
 
-int main() {
-  const sim::ExperimentConfig experiment = bench::cluster_experiment();
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 300;
 
   const std::vector<Variant> variants{
@@ -73,7 +74,7 @@ int main() {
   };
 
   std::vector<sim::PointResult> results(variants.size());
-  util::ThreadPool pool;
+  util::ThreadPool pool(opts.threads);
   pool.parallel_for(variants.size(), [&](std::size_t i) {
     results[i] = run_variant(experiment, variants[i], kJobs);
   });

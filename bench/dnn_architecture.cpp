@@ -22,8 +22,9 @@ double ms_since(Clock::time_point start) {
 
 }  // namespace
 
-int main() {
-  const sim::ExperimentConfig experiment = bench::cluster_experiment();
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   trace::GoogleTraceGenerator gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
       experiment.training_horizon_slots));

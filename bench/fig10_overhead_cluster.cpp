@@ -5,9 +5,12 @@
 
 int main(int argc, char** argv) {
   using namespace corp;
-  sim::ExperimentHarness harness(bench::cluster_experiment());
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  sim::ExperimentHarness harness(bench::cluster_experiment(opts));
+  const bench::BenchTimer timer;
   sim::Figure figure = harness.figure_overhead();
   figure.id = "fig10";
-  bench::emit(figure, bench::csv_prefix(argc, argv));
+  bench::emit(figure, opts);
+  bench::emit_timing(opts, "fig10", timer, harness);
   return 0;
 }

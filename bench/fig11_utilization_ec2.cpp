@@ -5,12 +5,15 @@
 
 int main(int argc, char** argv) {
   using namespace corp;
-  sim::ExperimentHarness harness(bench::ec2_experiment());
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  sim::ExperimentHarness harness(bench::ec2_experiment(opts));
+  const bench::BenchTimer timer;
   const char* sub = "abc";
   auto figures = harness.figure_utilization();
   for (std::size_t i = 0; i < figures.size(); ++i) {
     figures[i].id = std::string("fig11") + sub[i];
-    bench::emit(figures[i], bench::csv_prefix(argc, argv));
+    bench::emit(figures[i], opts);
   }
+  bench::emit_timing(opts, "fig11", timer, harness);
   return 0;
 }

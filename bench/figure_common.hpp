@@ -1,37 +1,77 @@
 // Shared scaffolding for the figure-regeneration binaries. Each binary
 // reproduces one table/figure of the paper's evaluation (Sec. IV): it runs
 // the relevant sweep via ExperimentHarness, prints the series table to
-// stdout, and (optionally, first CLI argument) writes the series as CSV.
+// stdout, optionally writes the series as CSV, and emits a JSON timing
+// record (wall time, points simulated, throughput, thread count) so the
+// harness's performance trajectory is tracked run over run.
+//
+// CLI: [CSV_PREFIX] [--csv PREFIX] [--json PATH] [--threads N] [--seed S]
+//   CSV_PREFIX / --csv   write each figure as <prefix><id>.csv
+//   --json PATH          append the timing record to PATH (JSON lines);
+//                        the record is always printed to stdout too
+//   --threads N          worker threads for the point sweeps (0 = all cores)
+//   --seed S             base experiment seed (default 7)
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "util/cli.hpp"
 
 namespace corp::bench {
 
-inline sim::ExperimentConfig cluster_experiment(std::uint64_t seed = 7) {
+struct BenchOptions {
+  std::string csv_prefix;  // empty = no CSV output
+  std::string json_path;   // empty = stdout only
+  std::size_t threads = 0;
+  std::uint64_t seed = 7;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) try {
+  const util::ArgParser args(argc, argv, 1,
+                             {"csv", "json", "threads", "seed"});
+  BenchOptions opts;
+  // Back-compat: the original binaries took the CSV prefix positionally.
+  if (!args.positional().empty()) opts.csv_prefix = args.positional().front();
+  opts.csv_prefix = args.get("csv", opts.csv_prefix);
+  opts.json_path = args.get("json", "");
+  opts.threads = args.get_size("threads", 0);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  return opts;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n'
+            << "usage: " << (argc > 0 ? argv[0] : "bench")
+            << " [CSV_PREFIX] [--csv PREFIX] [--json PATH]"
+               " [--threads N] [--seed S]\n";
+  std::exit(2);
+}
+
+inline sim::ExperimentConfig cluster_experiment(const BenchOptions& opts) {
   sim::ExperimentConfig experiment;
   experiment.environment = cluster::EnvironmentConfig::PalmettoCluster();
-  experiment.seed = seed;
+  experiment.seed = opts.seed;
+  experiment.params.threads = opts.threads;
   return experiment;
 }
 
-inline sim::ExperimentConfig ec2_experiment(std::uint64_t seed = 7) {
+inline sim::ExperimentConfig ec2_experiment(const BenchOptions& opts) {
   sim::ExperimentConfig experiment;
   experiment.environment = cluster::EnvironmentConfig::AmazonEc2();
-  experiment.seed = seed;
+  experiment.seed = opts.seed;
+  experiment.params.threads = opts.threads;
   return experiment;
 }
 
 /// Prints the figure and optionally writes `<csv_prefix><id>.csv`.
-inline void emit(const sim::Figure& figure, const char* csv_prefix) {
+inline void emit(const sim::Figure& figure, const BenchOptions& opts) {
   std::cout << figure.to_table() << '\n';
-  if (csv_prefix != nullptr) {
-    const std::string path = std::string(csv_prefix) + figure.id + ".csv";
+  if (!opts.csv_prefix.empty()) {
+    const std::string path = opts.csv_prefix + figure.id + ".csv";
     std::ofstream out(path);
     if (out) {
       figure.write_csv(out);
@@ -42,9 +82,52 @@ inline void emit(const sim::Figure& figure, const char* csv_prefix) {
   }
 }
 
-/// Standard main body: argv[1] (optional) is a CSV output prefix.
-inline const char* csv_prefix(int argc, char** argv) {
-  return argc > 1 ? argv[1] : nullptr;
+/// Wall-clock timer started at construction.
+class BenchTimer {
+ public:
+  double elapsed_ms() const {
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start_;
+    return wall.count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Formats the per-run timing/throughput record as a single JSON object.
+inline std::string timing_record_json(const std::string& bench,
+                                      double wall_ms, std::size_t points,
+                                      std::size_t threads) {
+  const double per_sec =
+      wall_ms > 0.0 ? static_cast<double>(points) * 1e3 / wall_ms : 0.0;
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\""
+     << ",\"wall_ms\":" << wall_ms
+     << ",\"points\":" << points
+     << ",\"points_per_sec\":" << per_sec
+     << ",\"threads\":" << threads << "}";
+  return os.str();
+}
+
+/// Emits the timing record for a harness-driven bench run: to stdout
+/// always, appended to --json PATH when given.
+inline void emit_timing(const BenchOptions& opts, const std::string& bench,
+                        const BenchTimer& timer,
+                        const sim::ExperimentHarness& harness) {
+  const std::string record = timing_record_json(
+      bench, timer.elapsed_ms(), harness.points_run(),
+      harness.sweep_threads());
+  std::cout << "timing " << record << '\n';
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path, std::ios::app);
+    if (out) {
+      out << record << '\n';
+    } else {
+      std::cerr << "could not open " << opts.json_path << '\n';
+    }
+  }
 }
 
 }  // namespace corp::bench

@@ -24,14 +24,14 @@ sim::PointResult run_mix(const sim::ExperimentConfig& experiment,
       experiment.training_horizon_slots);
   train_config.long_job_fraction = long_fraction;
   trace::GoogleTraceGenerator train_gen(train_config);
-  util::Rng train_rng(experiment.seed * 7919 + 1);
+  util::Rng train_rng(sim::training_seed(experiment.seed));
   const trace::Trace training = train_gen.generate(train_rng);
 
   trace::GeneratorConfig eval_config = sim::scaled_generator_config(
       experiment.environment, num_jobs, experiment.eval_horizon_slots);
   eval_config.long_job_fraction = long_fraction;
   trace::GoogleTraceGenerator eval_gen(eval_config);
-  util::Rng eval_rng(experiment.seed * 104729 + num_jobs * 17 + 2);
+  util::Rng eval_rng(sim::evaluation_seed(experiment.seed, num_jobs));
   const trace::Trace evaluation = eval_gen.generate(eval_rng);
 
   sim::SimulationConfig config =
@@ -50,14 +50,15 @@ sim::PointResult run_mix(const sim::ExperimentConfig& experiment,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const sim::ExperimentConfig experiment = bench::cluster_experiment();
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 150;
   const std::vector<double> fractions{0.0, 0.15, 0.3};
 
   std::vector<std::vector<sim::PointResult>> grid(
       std::size(predict::kAllMethods),
       std::vector<sim::PointResult>(fractions.size()));
-  util::ThreadPool pool;
+  util::ThreadPool pool(opts.threads);
   pool.parallel_for(grid.size() * fractions.size(), [&](std::size_t task) {
     const std::size_t mi = task / fractions.size();
     const std::size_t fi = task % fractions.size();
@@ -84,7 +85,5 @@ int main(int argc, char** argv) {
                "patterned long-lived fraction grows (time-series "
                "forecasting works on patterns), while CORP keeps the "
                "overall lead.\n";
-  (void)argc;
-  (void)argv;
   return 0;
 }

@@ -34,13 +34,13 @@ StudyResult run_study(bool packing, std::size_t num_jobs,
 
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
       env, experiment.training_jobs, experiment.training_horizon_slots));
-  util::Rng train_rng(seed * 7919 + 1);
+  util::Rng train_rng(sim::training_seed(seed));
   const trace::Trace training = train_gen.generate(train_rng);
 
   trace::GeneratorConfig eval_config =
       sim::scaled_generator_config(env, num_jobs, 20);
   trace::GoogleTraceGenerator eval_gen(eval_config);
-  util::Rng eval_rng(seed * 104729 + num_jobs * 17 + 2);
+  util::Rng eval_rng(sim::evaluation_seed(seed, num_jobs));
   const trace::Trace evaluation = eval_gen.generate(eval_rng);
 
   sim::SimulationConfig config =
@@ -62,14 +62,15 @@ StudyResult run_study(bool packing, std::size_t num_jobs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   const std::vector<std::size_t> loads{60, 120, 180};
   std::vector<StudyResult> with(loads.size()), without(loads.size());
-  util::ThreadPool pool;
+  util::ThreadPool pool(opts.threads);
   pool.parallel_for(loads.size() * 2, [&](std::size_t task) {
     const std::size_t li = task / 2;
     const bool packing = task % 2 == 0;
-    (packing ? with : without)[li] = run_study(packing, loads[li], 7);
+    (packing ? with : without)[li] = run_study(packing, loads[li], opts.seed);
   });
 
   std::cout << "== packing study: CORP with/without complementary packing "

@@ -19,11 +19,11 @@ sim::PointResult run_with(sim::ExperimentConfig experiment,
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
       experiment.training_horizon_slots));
-  util::Rng train_rng(experiment.seed * 7919 + 1);
+  util::Rng train_rng(sim::training_seed(experiment.seed));
   const trace::Trace training = train_gen.generate(train_rng);
   trace::GoogleTraceGenerator eval_gen(sim::scaled_generator_config(
       experiment.environment, num_jobs, experiment.eval_horizon_slots));
-  util::Rng eval_rng(experiment.seed * 104729 + num_jobs * 17 + 2);
+  util::Rng eval_rng(sim::evaluation_seed(experiment.seed, num_jobs));
   const trace::Trace evaluation = eval_gen.generate(eval_rng);
 
   sim::Simulation simulation(std::move(config));
@@ -45,10 +45,11 @@ void row(util::TextTable& table, const std::string& label,
 
 }  // namespace
 
-int main() {
-  const sim::ExperimentConfig experiment = bench::cluster_experiment();
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 200;
-  util::ThreadPool pool;
+  util::ThreadPool pool(opts.threads);
 
   // --- P_th sweep (Eq. 21 gate) ------------------------------------------
   {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,6 +35,26 @@ double interpolate(const std::vector<std::pair<double, double>>& points,
 }
 
 }  // namespace
+
+// All per-experiment random streams are SplitMix64-derived: tagged streams
+// off the one user-visible seed. The earlier `seed * prime + offset`
+// formulas carried the base seed's arithmetic structure into the stream
+// seeds, so sweeps over consecutive (or additively related) seeds could
+// alias streams across points; derive_seed's double avalanche cannot.
+std::uint64_t training_seed(std::uint64_t base_seed) {
+  return util::derive_seed(base_seed, seed_stream::kTraining);
+}
+
+std::uint64_t evaluation_seed(std::uint64_t base_seed,
+                              std::size_t num_jobs) {
+  return util::derive_seed(base_seed, seed_stream::kEvaluation,
+                           static_cast<std::uint64_t>(num_jobs));
+}
+
+std::uint64_t simulation_seed(std::uint64_t base_seed, Method method) {
+  return util::derive_seed(base_seed, seed_stream::kSimulation,
+                           static_cast<std::uint64_t>(method));
+}
 
 std::string Figure::to_table() const {
   std::vector<std::string> header{xlabel};
@@ -131,9 +152,8 @@ PointResult run_point(const ExperimentConfig& experiment, Method method,
   // paper: one historical Google trace), shared by every method and every
   // sweep point — per-point retraining variance would masquerade as a
   // workload-size effect. Evaluation workloads vary with num_jobs.
-  const std::uint64_t train_seed = experiment.seed * 7919 + 1;
-  const std::uint64_t eval_seed =
-      experiment.seed * 104729 + num_jobs * 17 + 2;
+  const std::uint64_t train_seed = training_seed(experiment.seed);
+  const std::uint64_t eval_seed = evaluation_seed(experiment.seed, num_jobs);
 
   trace::GoogleTraceGenerator train_gen(scaled_generator_config(
       experiment.environment, experiment.training_jobs,
@@ -156,7 +176,7 @@ PointResult run_point(const ExperimentConfig& experiment, Method method,
 
   SimulationConfig config =
       make_simulation_config(experiment, method, aggressiveness);
-  config.seed = experiment.seed * 31 + static_cast<std::uint64_t>(method);
+  config.seed = simulation_seed(experiment.seed, method);
   if (confidence_override.has_value() && config.stack.has_value()) {
     config.stack->confidence_level = *confidence_override;
   }
@@ -177,6 +197,10 @@ PointResult run_point(const ExperimentConfig& experiment, Method method,
 ExperimentHarness::ExperimentHarness(ExperimentConfig config)
     : config_(std::move(config)) {}
 
+std::size_t ExperimentHarness::sweep_threads() const {
+  return util::ThreadPool::resolve(config_.params.threads);
+}
+
 std::vector<std::size_t> ExperimentHarness::job_counts() const {
   std::vector<std::size_t> counts;
   for (std::size_t n = config_.params.jobs_min; n <= config_.params.jobs_max;
@@ -194,12 +218,13 @@ std::vector<std::vector<PointResult>> ExperimentHarness::sweep_jobs(
   std::vector<std::vector<PointResult>> results(
       num_methods, std::vector<PointResult>(counts.size()));
 
-  util::ThreadPool pool(config_.threads);
+  util::ThreadPool pool(config_.params.threads);
   pool.parallel_for(num_methods * counts.size(), [&](std::size_t task) {
     const std::size_t mi = task / counts.size();
     const std::size_t pi = task % counts.size();
     results[mi][pi] = run_point(config_, predict::kAllMethods[mi],
                                 counts[pi], aggressiveness);
+    points_run_.fetch_add(1);
   });
   cached_sweep_ = results;
   sweep_cached_ = true;
@@ -267,12 +292,13 @@ Figure ExperimentHarness::figure_utilization_vs_slo() {
 
   std::vector<std::vector<PointResult>> grid(
       num_methods, std::vector<PointResult>(knobs.size()));
-  util::ThreadPool pool(config_.threads);
+  util::ThreadPool pool(config_.params.threads);
   pool.parallel_for(num_methods * knobs.size(), [&](std::size_t task) {
     const std::size_t mi = task / knobs.size();
     const std::size_t ki = task % knobs.size();
     grid[mi][ki] =
         run_point(config_, predict::kAllMethods[mi], num_jobs, knobs[ki]);
+    points_run_.fetch_add(1);
   });
 
   Figure fig;
@@ -306,13 +332,14 @@ Figure ExperimentHarness::figure_slo_vs_confidence() {
 
   std::vector<std::vector<PointResult>> grid(
       num_methods, std::vector<PointResult>(confidences.size()));
-  util::ThreadPool pool(config_.threads);
+  util::ThreadPool pool(config_.params.threads);
   pool.parallel_for(num_methods * confidences.size(), [&](std::size_t task) {
     const std::size_t mi = task / confidences.size();
     const std::size_t ci = task % confidences.size();
     // Moderate aggressiveness; the confidence level eta is the lever.
     grid[mi][ci] = run_point(config_, predict::kAllMethods[mi], num_jobs,
                              /*aggressiveness=*/0.5, confidences[ci]);
+    points_run_.fetch_add(1);
   });
 
   Figure fig;
@@ -337,9 +364,10 @@ Figure ExperimentHarness::figure_overhead() {
   const std::size_t num_jobs = config_.params.jobs_max;  // 300 in the paper
   const std::size_t num_methods = std::size(predict::kAllMethods);
   std::vector<PointResult> results(num_methods);
-  util::ThreadPool pool(config_.threads);
+  util::ThreadPool pool(config_.params.threads);
   pool.parallel_for(num_methods, [&](std::size_t mi) {
     results[mi] = run_point(config_, predict::kAllMethods[mi], num_jobs);
+    points_run_.fetch_add(1);
   });
 
   Figure fig;

@@ -12,6 +12,8 @@
 // the environment so each bench binary picks its testbed.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -20,6 +22,22 @@
 #include "sim/simulation.hpp"
 
 namespace corp::sim {
+
+/// Stream tags for util::derive_seed: every random stream hanging off one
+/// experiment seed gets its own tag, so streams never alias each other or
+/// a neighbouring sweep seed's streams.
+namespace seed_stream {
+inline constexpr std::uint64_t kTraining = 1;
+inline constexpr std::uint64_t kEvaluation = 2;
+inline constexpr std::uint64_t kSimulation = 3;
+}  // namespace seed_stream
+
+/// Seed of the (shared, per-experiment) training trace.
+std::uint64_t training_seed(std::uint64_t base_seed);
+/// Seed of the evaluation trace for one sweep point.
+std::uint64_t evaluation_seed(std::uint64_t base_seed, std::size_t num_jobs);
+/// Seed of one method's simulation (scheduler tie-breaks etc.).
+std::uint64_t simulation_seed(std::uint64_t base_seed, Method method);
 
 /// One plotted series: a method's y value per x.
 struct Series {
@@ -54,8 +72,8 @@ struct ExperimentConfig {
   /// sweep point loads the cluster heavily (the paper's evaluation runs
   /// its testbeds near saturation at 300 jobs).
   std::int64_t eval_horizon_slots = 20;
-  /// Worker threads for sweep parallelism (0 = hardware concurrency).
-  std::size_t threads = 0;
+  /// Worker threads for sweep parallelism live in params.threads (one knob
+  /// shared with the replication harness).
 };
 
 /// Everything one (method, workload) run produces.
@@ -108,6 +126,13 @@ class ExperimentHarness {
   /// Fig. 10 / 14: allocation latency for 300 jobs, one value per method.
   Figure figure_overhead();
 
+  /// Number of simulated points this harness has run (cache hits excluded);
+  /// the bench timing records divide wall time by this for points/sec.
+  std::size_t points_run() const { return points_run_.load(); }
+
+  /// Actual worker-thread count the sweeps use.
+  std::size_t sweep_threads() const;
+
  private:
   std::vector<std::size_t> job_counts() const;
 
@@ -115,6 +140,7 @@ class ExperimentHarness {
   /// Cached jobs sweep (figures 6 and 7 share it).
   std::vector<std::vector<PointResult>> cached_sweep_;
   bool sweep_cached_ = false;
+  std::atomic<std::size_t> points_run_{0};
 };
 
 }  // namespace corp::sim

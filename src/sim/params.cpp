@@ -1,5 +1,7 @@
 #include "sim/params.hpp"
 
+#include "sim/replication.hpp"
+
 namespace corp::sim {
 
 predict::StackConfig Params::stack_config() const {
@@ -8,6 +10,14 @@ predict::StackConfig Params::stack_config() const {
   config.error_tolerance = error_tolerance;
   config.probability_threshold = probability_threshold;
   config.horizon_slots = window_slots;
+  return config;
+}
+
+ReplicationConfig Params::replication_config() const {
+  ReplicationConfig config;
+  config.replications = replications;
+  config.confidence = replication_confidence;
+  config.threads = threads;
   return config;
 }
 

@@ -10,6 +10,8 @@
 
 namespace corp::sim {
 
+struct ReplicationConfig;
+
 struct Params {
   // --- Table II ---
   /// Number of servers N_p: 30-50 (50 on the cluster, 30 on EC2).
@@ -56,8 +58,22 @@ struct Params {
   /// (p > 1 models thrashing under starvation).
   double contention_penalty = 2.0;
 
+  // --- execution knobs (harness, not Table II) ---
+  /// Independent replicas per sweep point for confidence intervals.
+  std::size_t replications = 5;
+  /// Confidence level of the replication half-width.
+  double replication_confidence = 0.95;
+  /// Worker threads for sweep and replication fan-out (0 = hardware
+  /// concurrency). One knob drives both the per-figure point sweeps and
+  /// run_replicated_point.
+  std::size_t threads = 0;
+
   /// Builds the default per-type prediction StackConfig.
   predict::StackConfig stack_config() const;
+
+  /// Builds the ReplicationConfig (replications, confidence, threads)
+  /// these params describe.
+  ReplicationConfig replication_config() const;
 };
 
 }  // namespace corp::sim

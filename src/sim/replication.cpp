@@ -1,18 +1,30 @@
 #include "sim/replication.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace corp::sim {
 
 namespace {
 
+/// Stream tag separating replica seeds from the other derived streams
+/// hanging off an experiment seed (see seed_stream in experiment.hpp).
+constexpr std::uint64_t kReplicaStream = 0x5245504cULL;  // "REPL"
+
 MetricEstimate estimate(const std::vector<double>& samples,
                         double confidence) {
   MetricEstimate out;
+  // A lone sample carries no spread information: report "unknown", not a
+  // misleadingly tight zero-width interval. Table/CSV writers render the
+  // NaN as "n/a".
+  out.half_width = std::numeric_limits<double>::quiet_NaN();
   if (samples.empty()) return out;
   util::RunningStats stats;
   for (double x : samples) stats.add(x);
@@ -29,6 +41,11 @@ MetricEstimate estimate(const std::vector<double>& samples,
 
 }  // namespace
 
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica) {
+  return util::derive_seed(base_seed, kReplicaStream,
+                           static_cast<std::uint64_t>(replica));
+}
+
 ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
                                      Method method, std::size_t num_jobs,
                                      const ReplicationConfig& config,
@@ -36,24 +53,46 @@ ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
   if (config.replications == 0) {
     throw std::invalid_argument("run_replicated_point: zero replications");
   }
-  std::vector<double> util, slo, err, opp;
-  for (std::size_t r = 0; r < config.replications; ++r) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Each replica writes only its own pre-allocated slot; aggregation below
+  // walks the slots in replica order, so the thread schedule cannot leak
+  // into the result.
+  std::vector<PointResult> points(config.replications);
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(config.replications, [&](std::size_t r) {
     ExperimentConfig replica = experiment;
-    replica.seed = experiment.seed + 1000 * (r + 1);
-    const PointResult point =
-        run_point(replica, method, num_jobs, aggressiveness);
-    util.push_back(point.sim.overall_utilization);
+    replica.seed = replica_seed(experiment.seed, r);
+    points[r] = run_point(replica, method, num_jobs, aggressiveness);
+  });
+
+  std::vector<double> util_s, slo, err, opp;
+  util_s.reserve(points.size());
+  slo.reserve(points.size());
+  err.reserve(points.size());
+  opp.reserve(points.size());
+  for (const PointResult& point : points) {
+    util_s.push_back(point.sim.overall_utilization);
     slo.push_back(point.sim.slo_violation_rate);
     err.push_back(point.prediction.error_rate);
-    opp.push_back(
-        static_cast<double>(point.sim.opportunistic_placements));
+    opp.push_back(static_cast<double>(point.sim.opportunistic_placements));
   }
+
   ReplicatedPoint out;
   out.replications = config.replications;
-  out.overall_utilization = estimate(util, config.confidence);
+  out.overall_utilization = estimate(util_s, config.confidence);
   out.slo_violation_rate = estimate(slo, config.confidence);
   out.prediction_error_rate = estimate(err, config.confidence);
   out.opportunistic_placements = estimate(opp, config.confidence);
+
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - start;
+  out.timing.wall_ms = wall.count();
+  out.timing.replicas_per_sec =
+      wall.count() > 0.0
+          ? static_cast<double>(config.replications) * 1e3 / wall.count()
+          : 0.0;
+  out.timing.threads = pool.size();
   return out;
 }
 

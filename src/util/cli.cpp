@@ -49,6 +49,18 @@ std::int64_t ArgParser::get_int(const std::string& flag,
   return it == values_.end() ? fallback : std::stoll(it->second);
 }
 
+std::size_t ArgParser::get_size(const std::string& flag,
+                                std::size_t fallback) const {
+  const std::int64_t value =
+      get_int(flag, static_cast<std::int64_t>(fallback));
+  if (value < 0) {
+    throw std::invalid_argument("flag --" + flag +
+                                " must be non-negative, got " +
+                                std::to_string(value));
+  }
+  return static_cast<std::size_t>(value);
+}
+
 double ArgParser::get_double(const std::string& flag,
                              double fallback) const {
   const auto it = values_.find(flag);

@@ -3,6 +3,8 @@
 // and validation that every provided flag was declared.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -23,6 +25,9 @@ class ArgParser {
                   const std::string& fallback) const;
   std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
   double get_double(const std::string& flag, double fallback) const;
+  /// Non-negative count flag (thread counts, replication counts, ...).
+  /// Throws std::invalid_argument on a negative value.
+  std::size_t get_size(const std::string& flag, std::size_t fallback) const;
 
   /// Positional arguments (tokens not starting with --).
   const std::vector<std::string>& positional() const { return positional_; }

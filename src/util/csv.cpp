@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -99,6 +100,9 @@ void CsvWriter::write_row(const std::vector<double>& fields) {
 }
 
 std::string format_double(double value, int digits) {
+  // "Unknown" values (e.g. a single-sample confidence half-width) render
+  // as n/a rather than a platform-dependent "nan"/"-nan(ind)".
+  if (std::isnan(value)) return "n/a";
   std::ostringstream os;
   os.precision(digits);
   os << value;

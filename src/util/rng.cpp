@@ -6,6 +6,25 @@
 
 namespace corp::util {
 
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += kSplitMix64Gamma;
+  return splitmix64_mix(state);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream) {
+  // Finalize the base first so that consecutive base seeds land far apart,
+  // then walk `stream` steps of the Weyl sequence from there and finalize
+  // again. Injective in `stream` for any fixed base (the Weyl increment is
+  // odd, the mixer bijective).
+  const std::uint64_t origin = splitmix64_mix(base_seed + kSplitMix64Gamma);
+  return splitmix64_mix(origin + (stream + 1) * kSplitMix64Gamma);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream,
+                          std::uint64_t substream) {
+  return derive_seed(derive_seed(base_seed, stream), substream);
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

@@ -13,6 +13,38 @@
 
 namespace corp::util {
 
+/// Golden-ratio increment of the SplitMix64 Weyl sequence.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ULL;
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective 64-bit
+/// avalanche mixer. Every output bit depends on every input bit, so
+/// structured inputs (small integers, arithmetic progressions) map to
+/// statistically independent-looking outputs.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One SplitMix64 step: advances `state` along the Weyl sequence and
+/// returns the mixed output. Useful for seeding a sequence of generators
+/// from one root seed.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// Maps (base_seed, stream) to a well-mixed derived seed.
+///
+/// For a fixed base seed this is a bijection in `stream` — derived seeds of
+/// distinct streams (e.g. replica indices) can never collide — and the
+/// double avalanche removes all additive structure across base seeds, so
+/// nearby sweep seeds do not produce overlapping replica streams (the
+/// failure mode of naive `seed + k*stream` schemes).
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream);
+
+/// Two-level derivation: an independent stream per (stream, substream)
+/// pair, e.g. (component tag, sweep index).
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream,
+                          std::uint64_t substream);
+
 /// A seedable pseudo-random generator wrapping a 64-bit Mersenne twister
 /// with convenience distributions used throughout the code base.
 class Rng {

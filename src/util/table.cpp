@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -23,6 +24,10 @@ void TextTable::add_row(const std::string& label,
   row.reserve(values.size() + 1);
   row.push_back(label);
   for (double v : values) {
+    if (std::isnan(v)) {
+      row.push_back("n/a");
+      continue;
+    }
     std::ostringstream os;
     os << std::fixed << std::setprecision(digits) << v;
     row.push_back(os.str());

@@ -4,11 +4,13 @@
 
 namespace corp::util {
 
+std::size_t ThreadPool::resolve(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  std::size_t n = threads;
-  if (n == 0) {
-    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  const std::size_t n = resolve(threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

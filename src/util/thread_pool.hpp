@@ -25,6 +25,10 @@ class ThreadPool {
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
+  /// Worker count a pool constructed with `requested` would have
+  /// (0 -> hardware concurrency, min 1).
+  static std::size_t resolve(std::size_t requested);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

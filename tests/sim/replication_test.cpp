@@ -1,0 +1,143 @@
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace corp::sim {
+namespace {
+
+// A deliberately small experiment so each replica runs in a fraction of a
+// second; the determinism properties under test do not depend on scale.
+ExperimentConfig small_experiment() {
+  ExperimentConfig experiment;
+  experiment.training_jobs = 60;
+  experiment.training_horizon_slots = 90;
+  return experiment;
+}
+
+void expect_same_estimate(const MetricEstimate& a, const MetricEstimate& b) {
+  // Bit-identical, not approximately equal: parallel gather order and
+  // repeated runs must not perturb a single ULP.
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.half_width, b.half_width);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+}
+
+void expect_same_point(const ReplicatedPoint& a, const ReplicatedPoint& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  expect_same_estimate(a.overall_utilization, b.overall_utilization);
+  expect_same_estimate(a.slo_violation_rate, b.slo_violation_rate);
+  expect_same_estimate(a.prediction_error_rate, b.prediction_error_rate);
+  expect_same_estimate(a.opportunistic_placements,
+                       b.opportunistic_placements);
+  // timing is intentionally excluded: wall clock is not deterministic.
+}
+
+TEST(ReplicationTest, RejectsZeroReplications) {
+  ExperimentConfig experiment;
+  ReplicationConfig config;
+  config.replications = 0;
+  EXPECT_THROW(
+      run_replicated_point(experiment, Method::kDra, 20, config),
+      std::invalid_argument);
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  const ExperimentConfig experiment = small_experiment();
+  ReplicationConfig config;
+  config.replications = 3;
+  config.threads = 1;
+  const ReplicatedPoint point =
+      run_replicated_point(experiment, Method::kDra, 30, config);
+  EXPECT_EQ(point.replications, 3u);
+  EXPECT_GT(point.overall_utilization.mean, 0.0);
+  EXPECT_GE(point.overall_utilization.half_width, 0.0);
+  EXPECT_LE(point.overall_utilization.min,
+            point.overall_utilization.mean + 1e-12);
+  EXPECT_GE(point.overall_utilization.max,
+            point.overall_utilization.mean - 1e-12);
+  EXPECT_LE(point.overall_utilization.lower(),
+            point.overall_utilization.upper());
+}
+
+TEST(ReplicationTest, SameSeedIsBitIdentical) {
+  const ExperimentConfig experiment = small_experiment();
+  ReplicationConfig config;
+  config.replications = 3;
+  config.threads = 1;
+  const ReplicatedPoint first =
+      run_replicated_point(experiment, Method::kDra, 20, config);
+  const ReplicatedPoint second =
+      run_replicated_point(experiment, Method::kDra, 20, config);
+  expect_same_point(first, second);
+}
+
+TEST(ReplicationTest, ParallelMatchesSerialBitIdentically) {
+  const ExperimentConfig experiment = small_experiment();
+  ReplicationConfig serial;
+  serial.replications = 4;
+  serial.threads = 1;
+  ReplicationConfig parallel = serial;
+  parallel.threads = 4;
+  const ReplicatedPoint a =
+      run_replicated_point(experiment, Method::kDra, 20, serial);
+  const ReplicatedPoint b =
+      run_replicated_point(experiment, Method::kDra, 20, parallel);
+  expect_same_point(a, b);
+  EXPECT_EQ(a.timing.threads, 1u);
+  EXPECT_EQ(b.timing.threads, 4u);
+}
+
+TEST(ReplicationTest, RecordsTiming) {
+  const ExperimentConfig experiment = small_experiment();
+  ReplicationConfig config;
+  config.replications = 2;
+  config.threads = 2;
+  const ReplicatedPoint point =
+      run_replicated_point(experiment, Method::kDra, 20, config);
+  EXPECT_GT(point.timing.wall_ms, 0.0);
+  EXPECT_GT(point.timing.replicas_per_sec, 0.0);
+  EXPECT_EQ(point.timing.threads, 2u);
+}
+
+TEST(ReplicationTest, SingleReplicationHalfWidthIsUnknown) {
+  const ExperimentConfig experiment = small_experiment();
+  ReplicationConfig config;
+  config.replications = 1;
+  config.threads = 1;
+  const ReplicatedPoint point =
+      run_replicated_point(experiment, Method::kDra, 20, config);
+  // One sample has no measurable spread: NaN ("n/a"), not a false 0.0.
+  EXPECT_TRUE(std::isnan(point.overall_utilization.half_width));
+  EXPECT_TRUE(std::isnan(point.slo_violation_rate.half_width));
+  EXPECT_GT(point.overall_utilization.mean, 0.0);
+}
+
+TEST(ReplicationTest, ReplicaSeedsNeverCollideAcrossSweep) {
+  // 100 sweep points x 30 replicas: every derived seed distinct. The old
+  // `seed + 1000*(r+1)` formula collides immediately for consecutive
+  // bases (replica r of base S+1000 == replica r+1 of base S).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 1; base <= 100; ++base) {
+    for (std::size_t replica = 0; replica < 30; ++replica) {
+      seen.insert(replica_seed(base, replica));
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u * 30u);
+}
+
+TEST(ReplicationTest, ReplicaSeedsDifferFromBaseAndStreams) {
+  const std::uint64_t base = 7;
+  EXPECT_NE(replica_seed(base, 0), base);
+  // Replica seeds must not alias the other derived streams of the same
+  // base seed (training/evaluation/simulation).
+  EXPECT_NE(replica_seed(base, 0), training_seed(base));
+  EXPECT_NE(replica_seed(base, 0), evaluation_seed(base, 0));
+  EXPECT_NE(replica_seed(base, 0), simulation_seed(base, Method::kCorp));
+}
+
+}  // namespace
+}  // namespace corp::sim

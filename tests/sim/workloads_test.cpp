@@ -2,8 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/replication.hpp"
-
 namespace corp::sim {
 namespace {
 
@@ -56,34 +54,6 @@ TEST(WorkloadTest, MixedServicesContainsLongJobs) {
     if (!job.is_short_lived()) ++longs;
   }
   EXPECT_GT(longs, 0u);
-}
-
-TEST(ReplicationTest, RejectsZeroReplications) {
-  ExperimentConfig experiment;
-  ReplicationConfig config;
-  config.replications = 0;
-  EXPECT_THROW(
-      run_replicated_point(experiment, Method::kDra, 20, config),
-      std::invalid_argument);
-}
-
-TEST(ReplicationTest, AggregatesAcrossSeeds) {
-  ExperimentConfig experiment;
-  experiment.training_jobs = 60;
-  experiment.training_horizon_slots = 90;
-  ReplicationConfig config;
-  config.replications = 3;
-  const ReplicatedPoint point =
-      run_replicated_point(experiment, Method::kDra, 30, config);
-  EXPECT_EQ(point.replications, 3u);
-  EXPECT_GT(point.overall_utilization.mean, 0.0);
-  EXPECT_GE(point.overall_utilization.half_width, 0.0);
-  EXPECT_LE(point.overall_utilization.min,
-            point.overall_utilization.mean + 1e-12);
-  EXPECT_GE(point.overall_utilization.max,
-            point.overall_utilization.mean - 1e-12);
-  EXPECT_LE(point.overall_utilization.lower(),
-            point.overall_utilization.upper());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 
@@ -158,6 +159,70 @@ TEST(RngTest, LognormalIsPositive) {
   for (int i = 0; i < 1000; ++i) {
     EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
   }
+}
+
+TEST(SplitMix64Test, MixIsDeterministicAndNontrivial) {
+  EXPECT_EQ(splitmix64_mix(0x12345678ULL), splitmix64_mix(0x12345678ULL));
+  // 0 is the finalizer's only fixed point; derive_seed never feeds it 0
+  // because the gamma offset is added first.
+  EXPECT_EQ(splitmix64_mix(0), 0u);
+  EXPECT_NE(splitmix64_mix(1), 1u);
+  EXPECT_NE(splitmix64_mix(1), splitmix64_mix(2));
+}
+
+TEST(SplitMix64Test, MixAvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits; a
+  // weak mixer (like the old additive seed scheme) fails this badly.
+  const std::uint64_t base = 7;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t diff =
+        splitmix64_mix(base) ^ splitmix64_mix(base ^ (1ULL << bit));
+    const int flipped = std::popcount(diff);
+    EXPECT_GT(flipped, 12) << "bit " << bit;
+    EXPECT_LT(flipped, 52) << "bit " << bit;
+  }
+}
+
+TEST(SplitMix64Test, NextAdvancesState) {
+  std::uint64_t state = 99;
+  const std::uint64_t a = splitmix64_next(state);
+  const std::uint64_t b = splitmix64_next(state);
+  EXPECT_NE(a, b);
+  std::uint64_t replay = 99;
+  EXPECT_EQ(splitmix64_next(replay), a);
+  EXPECT_EQ(splitmix64_next(replay), b);
+}
+
+TEST(DeriveSeedTest, DeterministicPerPair) {
+  EXPECT_EQ(derive_seed(7, 0), derive_seed(7, 0));
+  EXPECT_EQ(derive_seed(7, 3, 11), derive_seed(7, 3, 11));
+}
+
+TEST(DeriveSeedTest, DistinctStreamsFromOneBase) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, NoCollisionsAcrossConsecutiveBaseSeeds) {
+  // The regression the SplitMix64 scheme exists to prevent: with the old
+  // additive formula `base + 1000*(r+1)`, replica r+1 of base S collided
+  // with replica r of base S+1000. Consecutive bases with many streams
+  // must stay fully disjoint.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 100; ++base) {
+    for (std::uint64_t stream = 0; stream < 100; ++stream) {
+      seen.insert(derive_seed(base, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u * 100u);
+}
+
+TEST(DeriveSeedTest, SubstreamIndependentOfStream) {
+  EXPECT_NE(derive_seed(7, 1, 2), derive_seed(7, 2, 1));
+  EXPECT_NE(derive_seed(7, 1, 2), derive_seed(7, 1));
 }
 
 }  // namespace

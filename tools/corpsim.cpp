@@ -7,7 +7,7 @@
 //   corpsim convert    convert Google clusterdata-2011 extracts to CSV
 //   corpsim help       this text
 //
-// Common flags: --env cluster|ec2, --jobs N, --seed S,
+// Common flags: --env cluster|ec2, --jobs N, --seed S, --threads T,
 //               --workload paper-sweep|burst|trickle|heavy-tail|mixed-services,
 //               --aggressiveness A (0..1), --method corp|rccr|cloudscale|dra
 #include <fstream>
@@ -36,7 +36,9 @@ subcommands:
              [--workload KIND] [--aggressiveness A] [--seed S]
              [--timeline out.csv]
   compare    like run, but all four methods side by side
-  replicate  --method M [--reps R] [--jobs N] ... adds confidence intervals
+  replicate  --method M [--reps R] [--threads T] [--jobs N] ... adds
+             confidence intervals; replicas run in parallel on T threads
+             (0 = all cores) with bit-identical results to serial
   trace-gen  --out trace.csv [--jobs N] [--workload KIND] [--seed S]
   stats      --trace trace.csv | [--jobs N --workload KIND --seed S]
   backtest   --method M [--jobs N] ... walk-forward forecast scoring
@@ -86,6 +88,7 @@ RunSetup setup_from(const util::ArgParser& args) {
   setup.workload = workload_from(args.get("workload", "paper-sweep"));
   setup.jobs = static_cast<std::size_t>(args.get_int("jobs", 150));
   setup.aggressiveness = args.get_double("aggressiveness", 0.35);
+  setup.experiment.params.threads = args.get_size("threads", 0);
   return setup;
 }
 
@@ -97,12 +100,12 @@ sim::PointResult run_method(const RunSetup& setup, predict::Method method,
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
       experiment.training_horizon_slots));
-  util::Rng train_rng(experiment.seed * 7919 + 1);
+  util::Rng train_rng(sim::training_seed(experiment.seed));
   const trace::Trace training = train_gen.generate(train_rng);
 
   trace::GoogleTraceGenerator eval_gen(sim::workload_config(
       setup.workload, experiment.environment, setup.jobs));
-  util::Rng eval_rng(experiment.seed * 104729 + setup.jobs * 17 + 2);
+  util::Rng eval_rng(sim::evaluation_seed(experiment.seed, setup.jobs));
   const trace::Trace evaluation = eval_gen.generate(eval_rng);
 
   sim::SimulationConfig config = sim::make_simulation_config(
@@ -169,9 +172,9 @@ int cmd_compare(const util::ArgParser& args) {
 int cmd_replicate(const util::ArgParser& args) {
   const RunSetup setup = setup_from(args);
   const predict::Method method = method_from(args.get("method", "corp"));
-  sim::ReplicationConfig replication;
-  replication.replications =
-      static_cast<std::size_t>(args.get_int("reps", 5));
+  sim::ReplicationConfig replication =
+      setup.experiment.params.replication_config();
+  replication.replications = args.get_size("reps", replication.replications);
   std::cout << "replicating " << predict::method_name(method) << " x"
             << replication.replications << " (" << setup.jobs
             << " jobs)\n";
@@ -187,6 +190,9 @@ int cmd_replicate(const util::ArgParser& args) {
   row("prediction error rate", point.prediction_error_rate);
   row("opportunistic placements", point.opportunistic_placements);
   std::cout << table.to_string();
+  std::cout << "timing: " << point.timing.wall_ms << " ms wall, "
+            << point.timing.replicas_per_sec << " replicas/sec on "
+            << point.timing.threads << " thread(s)\n";
   return 0;
 }
 
@@ -229,11 +235,11 @@ int cmd_backtest(const util::ArgParser& args) {
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
       experiment.training_horizon_slots));
-  util::Rng train_rng(experiment.seed * 7919 + 1);
+  util::Rng train_rng(sim::training_seed(experiment.seed));
   const trace::Trace training = train_gen.generate(train_rng);
   trace::GoogleTraceGenerator eval_gen(sim::workload_config(
       setup.workload, experiment.environment, setup.jobs));
-  util::Rng eval_rng(experiment.seed * 104729 + 2);
+  util::Rng eval_rng(sim::evaluation_seed(experiment.seed, setup.jobs));
   const trace::Trace evaluation = eval_gen.generate(eval_rng);
 
   const predict::VectorCorpus train_corpus =
@@ -245,7 +251,7 @@ int cmd_backtest(const util::ArgParser& args) {
       *sim::make_simulation_config(experiment, method,
                                    setup.aggressiveness)
            .stack;
-  util::Rng rng(experiment.seed * 31);
+  util::Rng rng(sim::simulation_seed(experiment.seed, method));
   auto stack = predict::make_stack(method, stack_config, rng);
   std::cout << "backtesting " << predict::method_name(method)
             << " on unused-CPU (request-normalized)...\n";
