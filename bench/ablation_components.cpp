@@ -62,6 +62,7 @@ sim::PointResult run_variant(const sim::ExperimentConfig& experiment,
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
   const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 300;
 
@@ -95,5 +96,7 @@ int main(int argc, char** argv) {
             << "\nExpected: every ablation loses utilization or SLO "
                "compliance relative to full CORP; 'no opportunistic' "
                "drops utilization to the reservation baseline.\n";
+  bench::finish(opts, "ablation_components", timer, variants.size(),
+                pool.size());
   return 0;
 }

@@ -24,6 +24,7 @@ double ms_since(Clock::time_point start) {
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
   const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   trace::GoogleTraceGenerator gen(sim::scaled_generator_config(
       experiment.environment, experiment.training_jobs,
@@ -108,5 +109,7 @@ int main(int argc, char** argv) {
   std::cout << par.to_string()
             << "(speedup requires multiple cores; on one core the "
                "synchronization overhead shows instead)\n";
+  bench::finish(opts, "dnn_architecture", timer, archs.size() + 3,
+                opts.threads == 0 ? 1 : opts.threads);
   return 0;
 }

@@ -11,6 +11,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_prediction_error();
   figure.id = "fig06";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig06", timer, harness);
+  bench::finish(opts, "fig06", timer, harness);
   return 0;
 }

@@ -14,6 +14,6 @@ int main(int argc, char** argv) {
     figures[i].id = std::string("fig07") + sub[i];
     bench::emit(figures[i], opts);
   }
-  bench::emit_timing(opts, "fig07", timer, harness);
+  bench::finish(opts, "fig07", timer, harness);
   return 0;
 }

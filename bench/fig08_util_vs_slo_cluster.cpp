@@ -13,6 +13,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_utilization_vs_slo();
   figure.id = "fig08";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig08", timer, harness);
+  bench::finish(opts, "fig08", timer, harness);
   return 0;
 }

@@ -12,6 +12,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_slo_vs_confidence();
   figure.id = "fig09";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig09", timer, harness);
+  bench::finish(opts, "fig09", timer, harness);
   return 0;
 }

@@ -11,6 +11,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_overhead();
   figure.id = "fig10";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig10", timer, harness);
+  bench::finish(opts, "fig10", timer, harness);
   return 0;
 }

@@ -10,6 +10,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_utilization_vs_slo();
   figure.id = "fig12";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig12", timer, harness);
+  bench::finish(opts, "fig12", timer, harness);
   return 0;
 }

@@ -10,6 +10,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_slo_vs_confidence();
   figure.id = "fig13";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig13", timer, harness);
+  bench::finish(opts, "fig13", timer, harness);
   return 0;
 }

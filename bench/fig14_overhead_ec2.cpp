@@ -11,6 +11,6 @@ int main(int argc, char** argv) {
   sim::Figure figure = harness.figure_overhead();
   figure.id = "fig14";
   bench::emit(figure, opts);
-  bench::emit_timing(opts, "fig14", timer, harness);
+  bench::finish(opts, "fig14", timer, harness);
   return 0;
 }

@@ -1,16 +1,23 @@
 // Shared scaffolding for the figure-regeneration binaries. Each binary
 // reproduces one table/figure of the paper's evaluation (Sec. IV): it runs
 // the relevant sweep via ExperimentHarness, prints the series table to
-// stdout, optionally writes the series as CSV, and emits a JSON timing
-// record (wall time, points simulated, throughput, thread count) so the
-// harness's performance trajectory is tracked run over run.
+// stdout, optionally writes the series as CSV, and emits a JSON run record
+// (wall time, points simulated, throughput, thread count, plus the obs
+// metrics snapshot) so the harness's performance trajectory is tracked run
+// over run. The record follows the schema in docs/observability.md
+// (schema_version, run_id, nested "metrics" object); the CI bench-smoke
+// job validates it with tools/validate_metrics.py.
 //
-// CLI: [CSV_PREFIX] [--csv PREFIX] [--json PATH] [--threads N] [--seed S]
+// CLI: [CSV_PREFIX] [--csv PREFIX] [--json PATH] [--metrics-out PATH]
+//      [--threads N] [--seed S] [--no-metrics]
 //   CSV_PREFIX / --csv   write each figure as <prefix><id>.csv
-//   --json PATH          append the timing record to PATH (JSON lines);
+//   --json PATH          append the run record to PATH (JSON lines);
 //                        the record is always printed to stdout too
+//   --metrics-out PATH   append the standalone metrics snapshot to PATH
+//                        (same JSON-lines schema as corpsim --metrics-out)
 //   --threads N          worker threads for the point sweeps (0 = all cores)
 //   --seed S             base experiment seed (default 7)
+//   --no-metrics 1       disable metric collection (overhead A/B runs)
 #pragma once
 
 #include <chrono>
@@ -20,34 +27,45 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
 
 namespace corp::bench {
 
 struct BenchOptions {
-  std::string csv_prefix;  // empty = no CSV output
-  std::string json_path;   // empty = stdout only
+  std::string csv_prefix;   // empty = no CSV output
+  std::string json_path;    // empty = stdout only
+  std::string metrics_out;  // empty = no standalone metrics file
   std::size_t threads = 0;
   std::uint64_t seed = 7;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) try {
-  const util::ArgParser args(argc, argv, 1,
-                             {"csv", "json", "threads", "seed"});
+  const util::ArgParser args(
+      argc, argv, 1,
+      {"csv", "json", "metrics-out", "threads", "seed", "no-metrics"});
   BenchOptions opts;
   // Back-compat: the original binaries took the CSV prefix positionally.
   if (!args.positional().empty()) opts.csv_prefix = args.positional().front();
   opts.csv_prefix = args.get("csv", opts.csv_prefix);
   opts.json_path = args.get("json", "");
+  opts.metrics_out = args.get("metrics-out", "");
   opts.threads = args.get_size("threads", 0);
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  // Collection is on by default: the run record's "metrics" object is part
+  // of the bench contract, and the disabled-path cost is what --no-metrics
+  // exists to measure. ArgParser flags always take a value, so spell the
+  // opt-out as `--no-metrics 1`.
+  obs::set_enabled(!args.has("no-metrics"));
   return opts;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n'
             << "usage: " << (argc > 0 ? argv[0] : "bench")
             << " [CSV_PREFIX] [--csv PREFIX] [--json PATH]"
-               " [--threads N] [--seed S]\n";
+               " [--metrics-out PATH] [--threads N] [--seed S]"
+               " [--no-metrics]\n";
   std::exit(2);
 }
 
@@ -96,29 +114,41 @@ class BenchTimer {
       std::chrono::steady_clock::now();
 };
 
-/// Formats the per-run timing/throughput record as a single JSON object.
+/// Stable identifier for one bench invocation: `<bench>-seed<seed>`.
+inline std::string run_id(const std::string& bench, std::uint64_t seed) {
+  return bench + "-seed" + std::to_string(seed);
+}
+
+/// Formats the per-run record as a single JSON object following the bench
+/// record schema (docs/observability.md): envelope fields plus the nested
+/// obs metrics snapshot.
 inline std::string timing_record_json(const std::string& bench,
-                                      double wall_ms, std::size_t points,
+                                      std::uint64_t seed, double wall_ms,
+                                      std::size_t points,
                                       std::size_t threads) {
   const double per_sec =
       wall_ms > 0.0 ? static_cast<double>(points) * 1e3 / wall_ms : 0.0;
   std::ostringstream os;
-  os << "{\"bench\":\"" << bench << "\""
+  os << "{\"schema_version\":" << obs::kSchemaVersion
+     << ",\"run_id\":\"" << obs::json_escape(run_id(bench, seed)) << "\""
+     << ",\"bench\":\"" << obs::json_escape(bench) << "\""
      << ",\"wall_ms\":" << wall_ms
      << ",\"points\":" << points
      << ",\"points_per_sec\":" << per_sec
-     << ",\"threads\":" << threads << "}";
+     << ",\"threads\":" << threads
+     << ",\"metrics\":" << obs::metrics_json(obs::registry().snapshot())
+     << "}";
   return os.str();
 }
 
-/// Emits the timing record for a harness-driven bench run: to stdout
-/// always, appended to --json PATH when given.
-inline void emit_timing(const BenchOptions& opts, const std::string& bench,
-                        const BenchTimer& timer,
-                        const sim::ExperimentHarness& harness) {
-  const std::string record = timing_record_json(
-      bench, timer.elapsed_ms(), harness.points_run(),
-      harness.sweep_threads());
+/// Emits the run record: to stdout always, appended to --json PATH when
+/// given; also writes the standalone snapshot to --metrics-out when given.
+inline void finish(const BenchOptions& opts, const std::string& bench,
+                   const BenchTimer& timer, std::size_t points,
+                   std::size_t threads) {
+  const std::string record = timing_record_json(bench, opts.seed,
+                                                timer.elapsed_ms(), points,
+                                                threads);
   std::cout << "timing " << record << '\n';
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path, std::ios::app);
@@ -128,6 +158,22 @@ inline void emit_timing(const BenchOptions& opts, const std::string& bench,
       std::cerr << "could not open " << opts.json_path << '\n';
     }
   }
+  if (!opts.metrics_out.empty()) {
+    try {
+      obs::append_jsonl(opts.metrics_out, obs::registry().snapshot(),
+                        run_id(bench, opts.seed));
+    } catch (const std::exception& e) {
+      std::cerr << "could not write " << opts.metrics_out << ": " << e.what()
+                << '\n';
+    }
+  }
+}
+
+/// Overload for harness-driven bench runs.
+inline void finish(const BenchOptions& opts, const std::string& bench,
+                   const BenchTimer& timer,
+                   const sim::ExperimentHarness& harness) {
+  finish(opts, bench, timer, harness.points_run(), harness.sweep_threads());
 }
 
 }  // namespace corp::bench

@@ -51,6 +51,7 @@ sim::PointResult run_mix(const sim::ExperimentConfig& experiment,
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
   const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 150;
   const std::vector<double> fractions{0.0, 0.15, 0.3};
@@ -85,5 +86,7 @@ int main(int argc, char** argv) {
                "patterned long-lived fraction grows (time-series "
                "forecasting works on patterns), while CORP keeps the "
                "overall lead.\n";
+  bench::finish(opts, "mixed_workload", timer,
+                grid.size() * fractions.size(), pool.size());
   return 0;
 }

@@ -64,6 +64,7 @@ StudyResult run_study(bool packing, std::size_t num_jobs,
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
   const std::vector<std::size_t> loads{60, 120, 180};
   std::vector<StudyResult> with(loads.size()), without(loads.size());
   util::ThreadPool pool(opts.threads);
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
                "is markedly higher while the cluster still has headroom; "
                "under extreme overload both variants saturate and the gap "
                "narrows.\n";
+  bench::finish(opts, "packing_study", timer, loads.size() * 2, pool.size());
   return 0;
 }

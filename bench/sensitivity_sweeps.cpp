@@ -47,8 +47,10 @@ void row(util::TextTable& table, const std::string& label,
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
   const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
   constexpr std::size_t kJobs = 200;
+  std::size_t points_run = 0;
   util::ThreadPool pool(opts.threads);
 
   // --- P_th sweep (Eq. 21 gate) ------------------------------------------
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
       config.stack->probability_threshold = thresholds[i];
       results[i] = run_with(experiment, std::move(config), kJobs);
     });
+    points_run += thresholds.size();
     std::cout << "== sensitivity: probability threshold P_th (Eq. 21) ==\n";
     util::TextTable table(
         {"P_th", "overall util", "slo violation", "opportunistic",
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
       config.environment.vms_per_pm = vms_per_pm[i];
       results[i] = run_with(experiment, std::move(config), kJobs);
     });
+    points_run += vms_per_pm.size();
     std::cout << "== sensitivity: number of VMs N_v (50 PMs) ==\n";
     util::TextTable table({"N_v", "overall util", "slo violation",
                            "opportunistic", "pred error"});
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
       config.stack->horizon_slots = windows[i];
       results[i] = run_with(exp, std::move(config), kJobs);
     });
+    points_run += windows.size();
     std::cout << "== sensitivity: prediction window L (slots of 10 s) ==\n";
     util::TextTable table({"L", "overall util", "slo violation",
                            "opportunistic", "pred error"});
@@ -118,5 +123,6 @@ int main(int argc, char** argv) {
               << "(the paper chose L = 6 slots = 1 minute because "
                  "short-lived jobs typically run minutes)\n";
   }
+  bench::finish(opts, "sensitivity_sweeps", timer, points_run, pool.size());
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "dnn/parallel_trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace corp::dnn {
 
@@ -42,6 +45,7 @@ void ParallelTrainer::reduce_gradients(Network& master,
 
 TrainReport ParallelTrainer::fit(Network& network, Optimizer& optimizer,
                                  const Dataset& data) {
+  const obs::ScopedTimer fit_timer("dnn.parallel_fit");
   if (!data.consistent()) {
     throw std::invalid_argument("ParallelTrainer::fit: inconsistent dataset");
   }
@@ -63,9 +67,16 @@ TrainReport ParallelTrainer::fit(Network& network, Optimizer& optimizer,
     replicas.emplace_back(network.config(), replica_rng);
   }
 
+  obs::MetricRegistry& reg = obs::registry();
+  const bool metrics = reg.enabled();
+  obs::Histogram* epoch_ms = metrics ? &reg.histogram("dnn.epoch_ms") : nullptr;
+  obs::Counter* sgd_steps = metrics ? &reg.counter("dnn.sgd_steps") : nullptr;
+  obs::Counter* epochs_run = metrics ? &reg.counter("dnn.epochs") : nullptr;
+
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
   for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     std::vector<std::size_t> order;
     if (config_.shuffle) {
       order = rng_.permutation(train.size());
@@ -112,6 +123,18 @@ TrainReport ParallelTrainer::fit(Network& network, Optimizer& optimizer,
     report.validation_curve.push_back(val_loss);
     report.epochs_run = epoch + 1;
 
+    if (metrics) {
+      const std::chrono::duration<double, std::milli> wall =
+          std::chrono::steady_clock::now() - epoch_start;
+      epoch_ms->observe(wall.count());
+      // One synchronized optimizer step per batch; every sample costs a
+      // forward/backward pass on some worker.
+      sgd_steps->add(order.size());
+      epochs_run->add(1);
+      reg.gauge("dnn.epoch_train_loss").set(report.final_train_loss);
+      reg.gauge("dnn.epoch_validation_loss").set(val_loss);
+    }
+
     if (val_loss < best_val - config_.min_delta) {
       best_val = val_loss;
       since_best = 0;
@@ -121,6 +144,10 @@ TrainReport ParallelTrainer::fit(Network& network, Optimizer& optimizer,
     }
   }
   report.best_validation_loss = best_val;
+  if (metrics) {
+    reg.counter("dnn.parallel_fits").add(1);
+    reg.gauge("dnn.best_validation_loss").set(report.best_validation_loss);
+  }
   return report;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace corp::hmm {
 
 namespace {
@@ -216,12 +218,14 @@ std::vector<std::size_t> DiscreteHmm::viterbi(
 BaumWelchReport DiscreteHmm::baum_welch(
     std::span<const std::size_t> observations, std::size_t max_iterations,
     double tolerance) {
+  const obs::ScopedTimer timer("hmm.baum_welch");
   validate_observations(observations);
   const std::size_t T = observations.size();
   const std::size_t H = num_states();
   const std::size_t M = num_symbols();
   BaumWelchReport report;
   double prev_ll = -std::numeric_limits<double>::infinity();
+  double last_delta = 0.0;
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     const ForwardResult fwd = forward(observations);
@@ -289,7 +293,8 @@ BaumWelchReport DiscreteHmm::baum_welch(
 
     report.iterations = iter + 1;
     report.final_log_likelihood = fwd.log_likelihood;
-    if (std::abs(fwd.log_likelihood - prev_ll) < tolerance) {
+    last_delta = std::abs(fwd.log_likelihood - prev_ll);
+    if (last_delta < tolerance) {
       report.converged = true;
       break;
     }
@@ -297,6 +302,15 @@ BaumWelchReport DiscreteHmm::baum_welch(
   }
   // Record the likelihood of the final parameters.
   report.final_log_likelihood = log_likelihood(observations);
+  if (obs::enabled()) {
+    obs::MetricRegistry& reg = obs::registry();
+    reg.counter("hmm.bw_fits").add(1);
+    reg.counter("hmm.bw_iterations").add(report.iterations);
+    if (report.converged) reg.counter("hmm.bw_converged").add(1);
+    reg.gauge("hmm.final_log_likelihood")
+        .set(report.final_log_likelihood);
+    reg.gauge("hmm.log_likelihood_delta").set(last_delta);
+  }
   return report;
 }
 

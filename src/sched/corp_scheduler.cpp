@@ -1,5 +1,6 @@
 #include "sched/corp_scheduler.hpp"
 
+#include "obs/metrics.hpp"
 #include "sched/volume.hpp"
 
 namespace corp::sched {
@@ -8,11 +9,28 @@ CorpScheduler::CorpScheduler(CorpSchedulerConfig config) : config_(config) {}
 
 std::vector<PlacementDecision> CorpScheduler::place(
     const std::vector<const Job*>& batch, const SchedulerContext& ctx) {
+  const obs::ScopedTimer timer("sched.place");
   std::vector<PlacementDecision> decisions;
   if (batch.empty()) return decisions;
 
+  obs::MetricRegistry& reg = obs::registry();
+  const bool metrics = reg.enabled();
+  obs::Counter* m_pairs =
+      metrics ? &reg.counter("sched.packing_pair_matches") : nullptr;
+  obs::Counter* m_opp_grants =
+      metrics ? &reg.counter("sched.opportunistic_grants") : nullptr;
+  obs::Counter* m_opp_fallbacks =
+      metrics ? &reg.counter("sched.opportunistic_fallbacks") : nullptr;
+  obs::Counter* m_unplaced =
+      metrics ? &reg.counter("sched.entities_unplaced") : nullptr;
+
   const std::vector<JobEntity> entities =
       config_.enable_packing ? pack_jobs(batch) : singleton_entities(batch);
+  if (m_pairs != nullptr) {
+    for (const JobEntity& entity : entities) {
+      if (entity.members.size() > 1) m_pairs->add(1);
+    }
+  }
 
   // Tentative availability copies: placements within the batch consume
   // from these so the batch cannot oversubscribe a snapshot.
@@ -47,8 +65,10 @@ std::vector<PlacementDecision> CorpScheduler::place(
         vm.available -= carve;
         vm.available = vm.available.clamped_non_negative();
         decisions.push_back(std::move(decision));
+        if (m_opp_grants != nullptr) m_opp_grants->add(1);
         continue;
       }
+      if (m_opp_fallbacks != nullptr) m_opp_fallbacks->add(1);
     }
 
     const auto slot = most_matched(fresh, entity.demand, ctx.max_vm_capacity);
@@ -59,8 +79,10 @@ std::vector<PlacementDecision> CorpScheduler::place(
       vm.available -= entity.demand;
       vm.available = vm.available.clamped_non_negative();
       decisions.push_back(std::move(decision));
+    } else if (m_unplaced != nullptr) {
+      // Unplaced; the simulator re-queues the entity's jobs.
+      m_unplaced->add(1);
     }
-    // else: unplaced; the simulator re-queues the entity's jobs.
   }
   return decisions;
 }

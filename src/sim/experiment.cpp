@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -148,6 +149,8 @@ SimulationConfig make_simulation_config(const ExperimentConfig& experiment,
 PointResult run_point(const ExperimentConfig& experiment, Method method,
                       std::size_t num_jobs, double aggressiveness,
                       std::optional<double> confidence_override) {
+  const obs::ScopedTimer point_timer("experiment.point");
+  obs::count("experiment.points");
   // The training history is one fixed corpus per experiment (as in the
   // paper: one historical Google trace), shared by every method and every
   // sweep point — per-point retraining variance would masquerade as a
@@ -188,8 +191,11 @@ PointResult run_point(const ExperimentConfig& experiment, Method method,
   // Prediction accuracy is its own experiment (Fig. 6): evaluate with the
   // trained model state, before the live run's contention feedback
   // perturbs the error trackers.
-  result.prediction =
-      evaluate_prediction_error(simulation.predictor(), evaluation);
+  {
+    const obs::ScopedTimer eval_timer("experiment.prediction_eval");
+    result.prediction =
+        evaluate_prediction_error(simulation.predictor(), evaluation);
+  }
   result.sim = simulation.run(evaluation);
   return result;
 }

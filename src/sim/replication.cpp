@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +54,8 @@ ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
   if (config.replications == 0) {
     throw std::invalid_argument("run_replicated_point: zero replications");
   }
+  const obs::ScopedTimer point_timer("replicate.point");
+  obs::count("replicate.replicas", config.replications);
   const auto start = std::chrono::steady_clock::now();
 
   // Each replica writes only its own pre-allocated slot; aggregation below
@@ -61,6 +64,9 @@ ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
   std::vector<PointResult> points(config.replications);
   util::ThreadPool pool(config.threads);
   pool.parallel_for(config.replications, [&](std::size_t r) {
+    // Per-replica stage timing: replicas run concurrently, so total_ms
+    // across replicas exceeds the wall time of the fan-out.
+    const obs::ScopedTimer replica_timer("replicate.replica");
     ExperimentConfig replica = experiment;
     replica.seed = replica_seed(experiment.seed, r);
     points[r] = run_point(replica, method, num_jobs, aggressiveness);
@@ -93,6 +99,11 @@ ReplicatedPoint run_replicated_point(const ExperimentConfig& experiment,
           ? static_cast<double>(config.replications) * 1e3 / wall.count()
           : 0.0;
   out.timing.threads = pool.size();
+  if (obs::enabled()) {
+    obs::registry()
+        .gauge("replicate.replicas_per_sec")
+        .set(out.timing.replicas_per_sec);
+  }
   return out;
 }
 

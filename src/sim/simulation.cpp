@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
 
@@ -166,6 +167,7 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
 }
 
 void Simulation::train(const trace::Trace& history) {
+  const obs::ScopedTimer timer("sim.train");
   predictor_->train(build_unused_corpus(history));
   scheduler_->train(build_utilization_corpus(history));
   trained_ = true;
@@ -175,6 +177,24 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   if (!trained_) {
     throw std::logic_error("Simulation::run before train()");
   }
+  const obs::ScopedTimer run_timer("sim.run");
+  // Metric handles hoisted out of the slot loop: the per-slot cost is a
+  // handful of relaxed atomic adds when enabled, a null check when not.
+  obs::MetricRegistry& reg = obs::registry();
+  const bool obs_on = reg.enabled();
+  obs::Counter* m_slots = obs_on ? &reg.counter("sim.slot_ticks") : nullptr;
+  obs::Counter* m_attempts =
+      obs_on ? &reg.counter("sim.placement_attempts") : nullptr;
+  obs::Counter* m_failures =
+      obs_on ? &reg.counter("sim.placement_failures") : nullptr;
+  obs::Counter* m_promotions =
+      obs_on ? &reg.counter("sim.gate_promotions") : nullptr;
+  obs::Counter* m_preemptions =
+      obs_on ? &reg.counter("sim.gate_preemptions") : nullptr;
+  obs::PhaseStat* m_place_phase =
+      obs_on ? &reg.phase("sim.place") : nullptr;
+  obs::PhaseStat* m_predict_phase =
+      obs_on ? &reg.phase("sim.predict") : nullptr;
   const Params& params = config_.params;
   const std::size_t L = params.window_slots;
   const bool opportunistic_method =
@@ -201,6 +221,7 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   const ResourceVector max_vm_capacity = cluster.max_vm_capacity();
 
   for (std::int64_t t = 0;; ++t) {
+    if (m_slots != nullptr) m_slots->add(1);
     // --- 1. arrivals ------------------------------------------------
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].submit_slot <= t) {
@@ -266,7 +287,10 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
 
       const auto start = Clock::now();
       const auto decisions = scheduler_->place(batch, ctx);
-      compute_ms += elapsed_ms(start);
+      const double place_ms = elapsed_ms(start);
+      compute_ms += place_ms;
+      if (m_place_phase != nullptr) m_place_phase->add(place_ms);
+      if (m_attempts != nullptr) m_attempts->add(batch.size());
       comm_us +=
           config_.environment.comm_overhead_us *
           static_cast<double>(decisions.size());
@@ -303,7 +327,10 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
       }
       queue.clear();
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (!placed[i]) queue.push_back(batch[i]);
+        if (!placed[i]) {
+          queue.push_back(batch[i]);
+          if (m_failures != nullptr) m_failures->add(1);
+        }
       }
     }
 
@@ -413,10 +440,12 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
           rj.kind = sched::AllocationKind::kReserved;
           rj.starved_slots = 0;
           ++result.lease_promotions;
+          if (m_promotions != nullptr) m_promotions->add(1);
           ++i;
           continue;
         }
         ++result.lease_preemptions;
+        if (m_preemptions != nullptr) m_preemptions->add(1);
         queue.push_back(rj.job);
         running[i] = std::move(running.back());
         running.pop_back();
@@ -503,7 +532,9 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
           rj.allocated = rj.allocated.clamped_non_negative();
         }
       }
-      compute_ms += elapsed_ms(start);
+      const double predict_ms = elapsed_ms(start);
+      compute_ms += predict_ms;
+      if (m_predict_phase != nullptr) m_predict_phase->add(predict_ms);
     }
 
     if (config_.record_timeline) {
@@ -573,6 +604,15 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   result.jobs_violated = slo.violations();
   result.compute_latency_ms = compute_ms;
   result.total_latency_ms = compute_ms + comm_us / 1000.0;
+  if (obs_on) {
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.opportunistic_placements")
+        .add(result.opportunistic_placements);
+    reg.counter("sim.reserved_placements").add(result.reserved_placements);
+    reg.counter("sim.jobs_completed").add(result.jobs_completed);
+    reg.counter("sim.jobs_violated").add(result.jobs_violated);
+    reg.histogram("sim.run_latency_ms").observe(result.total_latency_ms);
+  }
   return result;
 }
 

@@ -9,11 +9,16 @@
 //
 // Common flags: --env cluster|ec2, --jobs N, --seed S, --threads T,
 //               --workload paper-sweep|burst|trickle|heavy-tail|mixed-services,
-//               --aggressiveness A (0..1), --method corp|rccr|cloudscale|dra
+//               --aggressiveness A (0..1), --method corp|rccr|cloudscale|dra,
+//               --metrics-out PATH (append obs snapshot as JSON lines),
+//               --metrics-csv PATH (write obs snapshot as flat CSV),
+//               --no-metrics 1 (disable collection)
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "predict/backtest.hpp"
 #include "sim/replication.hpp"
 #include "sim/workloads.hpp"
@@ -47,6 +52,14 @@ subcommands:
 
 workload kinds: paper-sweep (default), burst, trickle, heavy-tail,
                 mixed-services
+
+observability (docs/observability.md): any subcommand accepts
+  --metrics-out PATH   append the run's metrics snapshot to PATH as one
+                       JSON line (schema_version/run_id/phases/counters/
+                       gauges/histograms)
+  --metrics-csv PATH   write the snapshot as flat CSV
+                       (run_id,kind,name,field,value)
+  --no-metrics 1       disable metric collection entirely
 )";
   return 0;
 }
@@ -288,24 +301,52 @@ int cmd_convert(const util::ArgParser& args) {
   return 0;
 }
 
+int dispatch(const std::string& command, const util::ArgParser& args) {
+  if (command == "run") return cmd_run(args);
+  if (command == "compare") return cmd_compare(args);
+  if (command == "replicate") return cmd_replicate(args);
+  if (command == "trace-gen") return cmd_trace_gen(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "backtest") return cmd_backtest(args);
+  if (command == "convert") return cmd_convert(args);
+  std::cerr << "unknown subcommand '" << command << "'\n\n";
+  usage();
+  return 2;
+}
+
+/// Exports the accumulated snapshot after a successful subcommand when
+/// --metrics-out / --metrics-csv were given.
+void export_metrics(const std::string& command,
+                    const util::ArgParser& args) {
+  const std::string jsonl_path = args.get("metrics-out", "");
+  const std::string csv_path = args.get("metrics-csv", "");
+  if (jsonl_path.empty() && csv_path.empty()) return;
+  const std::string run_id =
+      "corpsim-" + command + "-seed" +
+      std::to_string(args.get_int("seed", 7));
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  if (!jsonl_path.empty()) {
+    obs::append_jsonl(jsonl_path, snapshot, run_id);
+    std::cout << "metrics appended to " << jsonl_path << '\n';
+  }
+  if (!csv_path.empty()) {
+    obs::write_csv_file(csv_path, snapshot, run_id);
+    std::cout << "metrics written to " << csv_path << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help") return usage();
   try {
     const util::ArgParser args(argc, argv, 2);
-    if (command == "run") return cmd_run(args);
-    if (command == "compare") return cmd_compare(args);
-    if (command == "replicate") return cmd_replicate(args);
-    if (command == "trace-gen") return cmd_trace_gen(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "backtest") return cmd_backtest(args);
-    if (command == "convert") return cmd_convert(args);
-    if (command == "help" || command == "--help") return usage();
-    std::cerr << "unknown subcommand '" << command << "'\n\n";
-    usage();
-    return 2;
+    obs::set_enabled(!args.has("no-metrics"));
+    const int rc = dispatch(command, args);
+    if (rc == 0) export_metrics(command, args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

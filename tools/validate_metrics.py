@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validate metrics JSON emitted by the obs subsystem (schema version 1).
+
+Accepts JSON-lines files produced either by `corpsim --metrics-out` /
+bench `--metrics-out` (standalone snapshots: the phase/counter maps at
+top level next to the envelope) or by bench `--json` (run records with
+the snapshot nested under "metrics"). Both shapes share the schema
+documented in docs/observability.md and src/obs/export.hpp.
+
+The CI bench-smoke job runs this against fresh bench output and fails
+the build on schema drift:
+
+    python3 tools/validate_metrics.py --require-phases dnn.,hmm.,sim.,sched. \
+        build/fig10_timing.json
+
+Checks per record:
+  * schema_version == 1, run_id a non-empty string
+  * phases non-empty; every phase has integer calls >= 1 and
+    non-negative total_ms / mean_ms / max_ms
+  * counters are non-negative integers
+  * gauges are numbers (or null for non-finite values)
+  * histogram `le` bounds strictly increase; `cum` has one extra
+    (overflow) entry, is monotone non-decreasing, and ends at `count`
+  * --require-phases: each comma-separated prefix matches >= 1 phase
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+SCHEMA_VERSION = 1
+METRIC_KEYS = ("phases", "counters", "gauges", "histograms")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(where, message):
+    raise SchemaError(f"{where}: {message}")
+
+
+def check_number(where, value, allow_null=False):
+    if value is None and allow_null:
+        return
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        fail(where, f"expected a number, got {value!r}")
+
+
+def check_non_negative(where, value):
+    check_number(where, value)
+    if value < 0:
+        fail(where, f"expected >= 0, got {value!r}")
+
+
+def check_phases(where, phases):
+    if not isinstance(phases, dict):
+        fail(where, "phases is not an object")
+    if not phases:
+        fail(where, "phases is empty — instrumentation did not run")
+    for name, phase in phases.items():
+        pwhere = f"{where}.phases[{name}]"
+        if not isinstance(phase, dict):
+            fail(pwhere, "not an object")
+        calls = phase.get("calls")
+        if isinstance(calls, bool) or not isinstance(calls, int) or calls < 1:
+            fail(pwhere, f"calls must be a positive integer, got {calls!r}")
+        for field in ("total_ms", "mean_ms", "max_ms"):
+            if field not in phase:
+                fail(pwhere, f"missing {field}")
+            check_non_negative(f"{pwhere}.{field}", phase[field])
+
+
+def check_counters(where, counters):
+    if not isinstance(counters, dict):
+        fail(where, "counters is not an object")
+    for name, value in counters.items():
+        cwhere = f"{where}.counters[{name}]"
+        if isinstance(value, bool) or not isinstance(value, int):
+            fail(cwhere, f"counter must be an integer, got {value!r}")
+        if value < 0:
+            fail(cwhere, f"counter must be non-negative, got {value!r}")
+
+
+def check_gauges(where, gauges):
+    if not isinstance(gauges, dict):
+        fail(where, "gauges is not an object")
+    for name, value in gauges.items():
+        check_number(f"{where}.gauges[{name}]", value, allow_null=True)
+
+
+def check_histograms(where, histograms):
+    if not isinstance(histograms, dict):
+        fail(where, "histograms is not an object")
+    for name, hist in histograms.items():
+        hwhere = f"{where}.histograms[{name}]"
+        if not isinstance(hist, dict):
+            fail(hwhere, "not an object")
+        for field in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+            if field not in hist:
+                fail(hwhere, f"missing {field}")
+        count = hist["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            fail(hwhere, f"count must be a non-negative integer, got {count!r}")
+        bounds = hist.get("le")
+        cum = hist.get("cum")
+        if not isinstance(bounds, list) or not isinstance(cum, list):
+            fail(hwhere, "le/cum must be arrays")
+        if len(cum) != len(bounds) + 1:
+            fail(hwhere,
+                 f"cum must have one overflow entry beyond le "
+                 f"({len(cum)} vs {len(bounds)} bounds)")
+        for i, bound in enumerate(bounds):
+            check_number(f"{hwhere}.le[{i}]", bound)
+            if i > 0 and bound <= bounds[i - 1]:
+                fail(hwhere, f"le not strictly increasing at index {i}")
+        previous = 0
+        for i, value in enumerate(cum):
+            cwhere = f"{hwhere}.cum[{i}]"
+            if isinstance(value, bool) or not isinstance(value, int):
+                fail(cwhere, f"must be an integer, got {value!r}")
+            if value < previous:
+                fail(cwhere, f"cumulative counts decreased ({previous} -> {value})")
+            previous = value
+        if cum and cum[-1] != count:
+            fail(hwhere, f"cum[-1] ({cum[-1]}) != count ({count})")
+
+
+def check_record(where, record, require_phases):
+    if not isinstance(record, dict):
+        fail(where, "record is not a JSON object")
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        fail(where, f"schema_version {version!r} != {SCHEMA_VERSION}")
+    run_id = record.get("run_id")
+    if not isinstance(run_id, str) or not run_id:
+        fail(where, f"run_id must be a non-empty string, got {run_id!r}")
+    # Bench records nest the snapshot under "metrics"; standalone
+    # snapshots keep the maps at top level.
+    metrics = record.get("metrics", record)
+    for key in METRIC_KEYS:
+        if key not in metrics:
+            fail(where, f"missing metrics key {key!r}")
+    check_phases(where, metrics["phases"])
+    check_counters(where, metrics["counters"])
+    check_gauges(where, metrics["gauges"])
+    check_histograms(where, metrics["histograms"])
+    phase_names = list(metrics["phases"])
+    for prefix in require_phases:
+        if not any(name.startswith(prefix) for name in phase_names):
+            fail(where, f"no phase matches required prefix {prefix!r} "
+                        f"(have: {', '.join(sorted(phase_names))})")
+
+
+def validate_file(path, require_phases):
+    records = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(where, f"invalid JSON: {err}")
+            check_record(where, record, require_phases)
+            records += 1
+    if records == 0:
+        fail(path, "no records found")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="JSON-lines metrics files")
+    parser.add_argument(
+        "--require-phases", default="",
+        help="comma-separated phase-name prefixes each record must cover")
+    args = parser.parse_args()
+    require_phases = [p for p in args.require_phases.split(",") if p]
+
+    status = 0
+    for path in args.files:
+        try:
+            records = validate_file(path, require_phases)
+            print(f"ok: {path} ({records} record(s))")
+        except (OSError, SchemaError) as err:
+            print(f"FAIL: {err}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
