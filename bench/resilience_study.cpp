@@ -1,0 +1,115 @@
+// Resilience study: how gracefully each provisioning method degrades as
+// fault intensity rises. Sweeps the canonical fault mix
+// (fault::scaled_fault_config) from a fault-free cluster to the full mix —
+// VM crash/recovery, telemetry gaps, demand-spike stragglers, poisoned
+// forecasts — and reports utilization, SLO violation rate and the fault
+// accounting per (method, intensity) point. CORP's prediction stack rides
+// on the graceful-degradation ladder (health monitor + ETS fallback +
+// reserved-only), so the interesting question is whether its utilization
+// advantage survives faults without the SLO curve blowing up.
+#include <iostream>
+#include <vector>
+
+#include "figure_common.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace corp;
+
+constexpr std::size_t kJobs = 200;
+
+const std::vector<double>& intensities() {
+  static const std::vector<double> kIntensities{0.0, 0.35, 0.7, 1.0};
+  return kIntensities;
+}
+
+const std::vector<predict::Method>& methods() {
+  static const std::vector<predict::Method> kMethods{
+      predict::Method::kCorp, predict::Method::kRccr,
+      predict::Method::kCloudScale, predict::Method::kDra};
+  return kMethods;
+}
+
+sim::PointResult run_cell(const sim::ExperimentConfig& base,
+                          predict::Method method, double intensity) {
+  sim::ExperimentConfig experiment = base;
+  experiment.faults = fault::scaled_fault_config(intensity);
+  return sim::run_point(experiment, method, kJobs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer timer;
+  const sim::ExperimentConfig experiment = bench::cluster_experiment(opts);
+
+  const auto& xs = intensities();
+  const auto& ms = methods();
+  std::vector<sim::PointResult> results(ms.size() * xs.size());
+  util::ThreadPool pool(opts.threads);
+  pool.parallel_for(results.size(), [&](std::size_t task) {
+    const std::size_t mi = task / xs.size();
+    const std::size_t xi = task % xs.size();
+    results[task] = run_cell(experiment, ms[mi], xs[xi]);
+  });
+
+  // Figure tables: utilization and SLO violation vs fault intensity, one
+  // series per method (the resilience analogue of Fig. 8's tradeoff).
+  sim::Figure util_fig;
+  util_fig.id = "resilience_util";
+  util_fig.title = "overall utilization vs fault intensity";
+  util_fig.xlabel = "fault intensity";
+  util_fig.ylabel = "overall utilization";
+  util_fig.x = xs;
+  sim::Figure slo_fig;
+  slo_fig.id = "resilience_slo";
+  slo_fig.title = "SLO violation rate vs fault intensity";
+  slo_fig.xlabel = "fault intensity";
+  slo_fig.ylabel = "slo violation rate";
+  slo_fig.x = xs;
+  for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+    sim::Series util_series{std::string(predict::method_name(ms[mi])), {}};
+    sim::Series slo_series{std::string(predict::method_name(ms[mi])), {}};
+    for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+      const auto& r = results[mi * xs.size() + xi];
+      util_series.y.push_back(r.sim.overall_utilization);
+      slo_series.y.push_back(r.sim.slo_violation_rate);
+    }
+    util_fig.series.push_back(std::move(util_series));
+    slo_fig.series.push_back(std::move(slo_series));
+  }
+
+  std::cout << "== resilience study (" << experiment.environment.name << ", "
+            << kJobs << " jobs, canonical fault mix) ==\n";
+  bench::emit(util_fig, opts);
+  bench::emit(slo_fig, opts);
+
+  util::TextTable table({"method @ intensity", "util", "slo viol", "crashes",
+                         "killed", "retries", "dropped", "gaps", "tier"});
+  for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+    for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+      const auto& r = results[mi * xs.size() + xi].sim;
+      std::ostringstream label;
+      label << predict::method_name(ms[mi]) << " @ " << xs[xi];
+      table.add_row(label.str(),
+                    {r.overall_utilization, r.slo_violation_rate,
+                     static_cast<double>(r.vm_crashes),
+                     static_cast<double>(r.jobs_killed),
+                     static_cast<double>(r.job_retries),
+                     static_cast<double>(r.jobs_dropped),
+                     static_cast<double>(r.telemetry_gaps),
+                     static_cast<double>(r.degradation_tier)});
+    }
+  }
+  std::cout << "== fault accounting ==\n"
+            << table.to_string()
+            << "\nExpected: utilization and SLO compliance degrade "
+               "smoothly with intensity; every kill is accounted as a "
+               "retry or a drop; CORP stays ahead of the reservation "
+               "baselines while degraded.\n";
+  bench::finish(opts, "resilience_study", timer, results.size(), pool.size());
+  return 0;
+}

@@ -15,6 +15,22 @@ void SloTracker::record(std::uint64_t job_id, std::size_t nominal_slots,
   outcomes_.push_back(outcome);
 }
 
+void SloTracker::record_failure(std::uint64_t job_id,
+                                std::size_t nominal_slots,
+                                std::size_t response_slots,
+                                double threshold_slots) {
+  JobOutcome outcome;
+  outcome.job_id = job_id;
+  outcome.nominal_slots = nominal_slots;
+  outcome.response_slots = response_slots;
+  outcome.threshold_slots = threshold_slots;
+  outcome.violated = true;
+  outcome.failed = true;
+  ++violations_;
+  ++failures_;
+  outcomes_.push_back(outcome);
+}
+
 double SloTracker::violation_rate() const {
   if (outcomes_.empty()) return 0.0;
   return static_cast<double>(violations_) /
@@ -26,7 +42,7 @@ double SloTracker::mean_stretch() const {
   double total = 0.0;
   std::size_t counted = 0;
   for (const auto& o : outcomes_) {
-    if (o.nominal_slots == 0) continue;
+    if (o.failed || o.nominal_slots == 0) continue;
     total += static_cast<double>(o.response_slots) /
              static_cast<double>(o.nominal_slots);
     ++counted;
@@ -37,6 +53,7 @@ double SloTracker::mean_stretch() const {
 void SloTracker::reset() {
   outcomes_.clear();
   violations_ = 0;
+  failures_ = 0;
 }
 
 }  // namespace corp::cluster

@@ -21,6 +21,9 @@ struct JobOutcome {
   /// Threshold in slots (nominal * slo_stretch).
   double threshold_slots = 0.0;
   bool violated = false;
+  /// True when the job never completed (retry budget exhausted after VM
+  /// crashes); always counts as an SLO violation.
+  bool failed = false;
 };
 
 class SloTracker {
@@ -30,13 +33,22 @@ class SloTracker {
   void record(std::uint64_t job_id, std::size_t nominal_slots,
               std::size_t response_slots, double threshold_slots);
 
-  std::size_t completed() const { return outcomes_.size(); }
+  /// Records a job that never completed (dropped after exhausting its
+  /// crash-retry budget). Unconditionally an SLO violation — the user saw
+  /// a failure, which is at least as bad as a late answer.
+  void record_failure(std::uint64_t job_id, std::size_t nominal_slots,
+                      std::size_t response_slots, double threshold_slots);
+
+  std::size_t completed() const { return outcomes_.size() - failures_; }
+  std::size_t failures() const { return failures_; }
   std::size_t violations() const { return violations_; }
 
-  /// Violation rate in [0, 1]; 0 when nothing completed.
+  /// Violation rate in [0, 1] over completed + failed jobs; 0 when
+  /// nothing was recorded.
   double violation_rate() const;
 
-  /// Mean response stretch (response / nominal) over completed jobs.
+  /// Mean response stretch (response / nominal) over completed jobs
+  /// (failed jobs excluded — they have no response time).
   double mean_stretch() const;
 
   const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
@@ -46,6 +58,7 @@ class SloTracker {
  private:
   std::vector<JobOutcome> outcomes_;
   std::size_t violations_ = 0;
+  std::size_t failures_ = 0;
 };
 
 }  // namespace corp::cluster

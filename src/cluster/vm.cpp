@@ -10,17 +10,32 @@ VirtualMachine::VirtualMachine(std::uint32_t id, std::uint32_t pm_id,
   }
 }
 
+ResourceVector VirtualMachine::crash() {
+  const ResourceVector lost = committed_;
+  committed_ = ResourceVector::zero();
+  up_ = false;
+  return lost;
+}
+
+void VirtualMachine::recover() {
+  committed_ = ResourceVector::zero();
+  up_ = true;
+}
+
 ResourceVector VirtualMachine::unallocated() const {
+  if (!up_) return ResourceVector::zero();
   return (capacity_ - committed_).clamped_non_negative();
 }
 
 bool VirtualMachine::can_commit(const ResourceVector& amount) const {
-  return (committed_ + amount).fits_within(capacity_, 1e-6);
+  return up_ && (committed_ + amount).fits_within(capacity_, 1e-6);
 }
 
 void VirtualMachine::commit(const ResourceVector& amount) {
   if (!can_commit(amount)) {
-    throw std::runtime_error("VirtualMachine::commit: over capacity");
+    throw std::runtime_error(up_
+                                 ? "VirtualMachine::commit: over capacity"
+                                 : "VirtualMachine::commit: VM is down");
   }
   committed_ += amount;
 }

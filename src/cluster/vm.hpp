@@ -26,10 +26,22 @@ class VirtualMachine {
   const ResourceVector& capacity() const { return capacity_; }
   const ResourceVector& committed() const { return committed_; }
 
-  /// capacity - committed, the fresh resource still available.
+  /// Availability: a crashed VM hosts nothing and accepts nothing until
+  /// it recovers (fault-injection model; VMs start up).
+  bool up() const { return up_; }
+
+  /// Takes the VM down, wiping the reservation ledger (every tenant dies
+  /// with the VM). Returns the committed amount that was lost.
+  ResourceVector crash();
+
+  /// Brings the VM back up with an empty ledger.
+  void recover();
+
+  /// capacity - committed while up; zero while down.
   ResourceVector unallocated() const;
 
-  /// True when `amount` fits in the unallocated remainder.
+  /// True when the VM is up and `amount` fits in the unallocated
+  /// remainder.
   bool can_commit(const ResourceVector& amount) const;
 
   /// Reserves `amount`; throws std::runtime_error when it does not fit
@@ -49,6 +61,7 @@ class VirtualMachine {
   std::uint32_t pm_id_;
   ResourceVector capacity_;
   ResourceVector committed_;
+  bool up_ = true;
 };
 
 }  // namespace corp::cluster

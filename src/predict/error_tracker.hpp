@@ -35,7 +35,10 @@ class PredictionErrorTracker {
   /// an untracked prediction must not unlock resources.
   double probability_within(double epsilon) const;
 
-  /// Eq. 21: Pr(0 <= delta < epsilon) >= p_threshold.
+  /// Eq. 21: Pr(0 <= delta < epsilon) >= p_threshold. The comparison is
+  /// inclusive: a probability exactly equal to p_threshold unlocks. The
+  /// paper states the gate as "Pr >= P_th", so the boundary case counts as
+  /// meeting the threshold, not missing it.
   bool unlocked(double epsilon, double p_threshold) const;
 
   void reset();

@@ -1,5 +1,8 @@
 #include "predict/vector_predictor.hpp"
 
+#include <cmath>
+#include <limits>
+
 namespace corp::predict {
 
 void VectorCorpus::add_series(const std::vector<ResourceVector>& series) {
@@ -18,27 +21,105 @@ bool VectorCorpus::empty() const {
   return true;
 }
 
+bool impute_gaps(const std::vector<double>& series,
+                 std::vector<double>& imputed) {
+  bool has_gap = false;
+  for (double x : series) {
+    if (!std::isfinite(x)) {
+      has_gap = true;
+      break;
+    }
+  }
+  if (!has_gap) return false;
+  imputed = series;
+  // Forward fill, then back-fill any leading gap with the first finite
+  // value (0 when the series is all gaps).
+  double last = std::numeric_limits<double>::quiet_NaN();
+  for (double& x : imputed) {
+    if (std::isfinite(x)) {
+      last = x;
+    } else if (std::isfinite(last)) {
+      x = last;
+    }
+  }
+  double first = 0.0;
+  for (double x : imputed) {
+    if (std::isfinite(x)) {
+      first = x;
+      break;
+    }
+  }
+  for (double& x : imputed) {
+    if (!std::isfinite(x)) x = first;
+  }
+  return true;
+}
+
 VectorPredictor::VectorPredictor(Method method, const StackConfig& config,
                                  util::Rng& rng, bool enable_hmm_correction,
-                                 bool enable_confidence_bound)
-    : method_(method) {
+                                 bool enable_confidence_bound,
+                                 const HealthConfig& health)
+    : method_(method), monitor_(health) {
   for (std::size_t r = 0; r < kNumResources; ++r) {
     stacks_[r] = make_stack(method, config, rng, enable_hmm_correction,
                             enable_confidence_bound);
+  }
+  // The fallback rung is the conservative ETS lower-bound stack. When the
+  // primary already is that stack (RCCR) the ladder skips straight to
+  // reserved-only. Constructing it consumes no draws from `rng` (the ETS
+  // stack is deterministic), so fault-free streams are unchanged.
+  if (method != Method::kRccr) {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      fallback_[r] = make_stack(Method::kRccr, config, rng);
+    }
   }
 }
 
 void VectorPredictor::train(const VectorCorpus& corpus) {
   for (std::size_t r = 0; r < kNumResources; ++r) {
     stacks_[r]->train(corpus.per_type[r]);
+    if (fallback_[r]) fallback_[r]->train(corpus.per_type[r]);
   }
 }
 
 ResourceVector VectorPredictor::predict(
-    const std::array<std::vector<double>, kNumResources>& history) {
+    const std::array<std::vector<double>, kNumResources>& history,
+    const InjectedFaultVector& faults) {
   ResourceVector out;
   for (std::size_t r = 0; r < kNumResources; ++r) {
-    out[r] = stacks_[r]->predict(history[r]);
+    const std::vector<double>* series = &history[r];
+    if (impute_gaps(history[r], imputed_)) series = &imputed_;
+    double raw = stacks_[r]->predict(*series);
+    switch (faults[r]) {
+      case InjectedFault::kNone:
+        break;
+      case InjectedFault::kNan:
+        raw = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case InjectedFault::kExplode:
+        // Magnitude blow-up: the analogue of a sigma explosion escaping
+        // the confidence-bound arithmetic.
+        raw = (std::isfinite(raw) ? std::abs(raw) + 1.0 : 1.0) * 1e9;
+        break;
+    }
+    // The monitor sees every raw primary forecast — also while degraded,
+    // so recovery (and continued poisoning) is observed without acting on
+    // the value.
+    const bool ok = monitor_.observe(raw);
+    switch (monitor_.tier()) {
+      case DegradationTier::kPrimary:
+        // A transient fault inside the healthy tier: substitute the
+        // fallback's value for this sample (0 without a fallback rung).
+        out[r] = ok ? raw
+                    : (fallback_[r] ? fallback_[r]->predict(*series) : 0.0);
+        break;
+      case DegradationTier::kFallback:
+        out[r] = fallback_[r] ? fallback_[r]->predict(*series) : 0.0;
+        break;
+      case DegradationTier::kReservedOnly:
+        out[r] = 0.0;
+        break;
+    }
   }
   return out;
 }
@@ -47,10 +128,22 @@ void VectorPredictor::record_outcome(const ResourceVector& actual,
                                      const ResourceVector& predicted) {
   for (std::size_t r = 0; r < kNumResources; ++r) {
     stacks_[r]->record_outcome(actual[r], predicted[r]);
+    if (fallback_[r]) fallback_[r]->record_outcome(actual[r], predicted[r]);
   }
 }
 
 bool VectorPredictor::unlocked() const {
+  switch (monitor_.tier()) {
+    case DegradationTier::kReservedOnly:
+      return false;
+    case DegradationTier::kFallback:
+      for (const auto& stack : fallback_) {
+        if (!stack || !stack->unlocked()) return false;
+      }
+      return true;
+    case DegradationTier::kPrimary:
+      break;
+  }
   for (const auto& stack : stacks_) {
     if (!stack->unlocked()) return false;
   }

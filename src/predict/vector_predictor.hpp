@@ -3,11 +3,19 @@
 // hold — "CORP periodically predicts the allocated and unused resources in
 // each VM" (Sec. III-B) — shared across VMs (the model is global; the
 // per-VM state is just the history series the caller supplies).
+//
+// Resilience: a PredictorHealthMonitor inspects every raw forecast and
+// drives a graceful-degradation ladder (primary stack -> conservative ETS
+// lower-bound fallback -> reserved-only, see health_monitor.hpp), and
+// NaN-marked telemetry gaps in the history are imputed (last observation
+// carried forward) instead of crashing the stacks. Both paths are inert
+// on healthy input: fault-free runs stay bit-identical.
 #pragma once
 
 #include <array>
 #include <memory>
 
+#include "predict/health_monitor.hpp"
 #include "predict/stacks.hpp"
 #include "trace/resources.hpp"
 
@@ -26,27 +34,49 @@ struct VectorCorpus {
   bool empty() const;
 };
 
+/// Per-type fault directives applied to the raw forecasts of one predict
+/// call (from the fault-injection layer; all-kNone = no poisoning).
+using InjectedFaultVector = std::array<InjectedFault, kNumResources>;
+
+/// Replaces non-finite entries (telemetry-gap markers) with the last
+/// finite observation before them (first finite one for a leading gap;
+/// 0 when the series has no finite entry). Returns false when the series
+/// had no gaps (output untouched — callers keep the original buffer).
+bool impute_gaps(const std::vector<double>& series,
+                 std::vector<double>& imputed);
+
 class VectorPredictor {
  public:
   VectorPredictor(Method method, const StackConfig& config, util::Rng& rng,
                   bool enable_hmm_correction = true,
-                  bool enable_confidence_bound = true);
+                  bool enable_confidence_bound = true,
+                  const HealthConfig& health = {});
 
   Method method() const { return method_; }
 
   void train(const VectorCorpus& corpus);
 
   /// Forecasts the unused vector at t + L from per-type histories.
+  /// Histories may contain NaN gap markers (imputed before prediction).
+  /// `faults` poisons the raw per-type forecasts before the health
+  /// monitor inspects them (fault-injection hook; defaults to none).
   ResourceVector predict(
-      const std::array<std::vector<double>, kNumResources>& history);
+      const std::array<std::vector<double>, kNumResources>& history,
+      const InjectedFaultVector& faults = {});
 
-  /// Records actual-vs-predicted per type (Eq. 20 feedback).
+  /// Records actual-vs-predicted per type (Eq. 20 feedback). Feeds the
+  /// active tier's trackers (fallback included, so it is warm on demotion).
   void record_outcome(const ResourceVector& actual,
                       const ResourceVector& predicted);
 
   /// Eq. 21: the prediction is reallocatable only when every resource
-  /// type's gate opens (a packed job needs all types simultaneously).
+  /// type's gate opens (a packed job needs all types simultaneously) AND
+  /// the health monitor has not degraded to reserved-only provisioning.
   bool unlocked() const;
+
+  /// Current degradation rung (see health_monitor.hpp).
+  DegradationTier tier() const { return monitor_.tier(); }
+  const PredictorHealthMonitor& health() const { return monitor_; }
 
   PredictionStack& stack(std::size_t type) { return *stacks_[type]; }
   const PredictionStack& stack(std::size_t type) const {
@@ -56,6 +86,12 @@ class VectorPredictor {
  private:
   Method method_;
   std::array<std::unique_ptr<PredictionStack>, kNumResources> stacks_;
+  /// Conservative ETS lower-bound stacks backing the kFallback rung; null
+  /// when the primary already is the ETS stack (ladder skips the rung).
+  std::array<std::unique_ptr<PredictionStack>, kNumResources> fallback_;
+  PredictorHealthMonitor monitor_;
+  /// Scratch buffer reused by gap imputation.
+  std::vector<double> imputed_;
 };
 
 }  // namespace corp::predict

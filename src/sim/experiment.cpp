@@ -99,6 +99,7 @@ SimulationConfig make_simulation_config(const ExperimentConfig& experiment,
   config.environment = experiment.environment;
   config.method = method;
   config.params = experiment.params;
+  config.faults = experiment.faults;
   config.seed = experiment.seed;
 
   predict::StackConfig stack = experiment.params.stack_config();

@@ -64,6 +64,9 @@ struct ExperimentConfig {
   cluster::EnvironmentConfig environment =
       cluster::EnvironmentConfig::PalmettoCluster();
   Params params;
+  /// Fault-injection model forwarded into every simulation this
+  /// experiment runs (inert by default).
+  fault::FaultConfig faults;
   std::uint64_t seed = 7;
   /// Jobs in the historical (training) trace.
   std::size_t training_jobs = 200;

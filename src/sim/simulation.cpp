@@ -9,9 +9,13 @@
 #include <cstdlib>
 #include <iostream>
 
+#include <limits>
+
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace corp::sim {
 
@@ -27,6 +31,11 @@ double elapsed_ms(Clock::time_point start) {
       .count();
 }
 
+/// derive_seed stream tag of the fault-injection oracle ("FALT"): keeps
+/// the fault pattern independent of every other stream hanging off the
+/// simulation seed.
+constexpr std::uint64_t kFaultSeedStream = 0x46414C54ULL;
+
 /// Bottleneck satisfaction ratio: min over resource types with non-trivial
 /// demand of received/desired, in [0, 1].
 double bottleneck_ratio(const ResourceVector& received,
@@ -41,15 +50,20 @@ double bottleneck_ratio(const ResourceVector& received,
   return std::clamp(ratio, 0.0, 1.0);
 }
 
-/// Mean of the last `n` entries of a series (whole series if shorter).
+/// Mean of the last `n` entries of a series (whole series if shorter),
+/// skipping non-finite entries (telemetry-gap markers). 0 when the
+/// window holds no finite sample.
 double tail_mean(const std::vector<double>& series, std::size_t n) {
   if (series.empty()) return 0.0;
   const std::size_t take = std::min(n, series.size());
   double sum = 0.0;
+  std::size_t counted = 0;
   for (std::size_t i = series.size() - take; i < series.size(); ++i) {
+    if (!std::isfinite(series[i])) continue;
     sum += series[i];
+    ++counted;
   }
-  return sum / static_cast<double>(take);
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
 }
 
 }  // namespace
@@ -220,8 +234,97 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
 
   const ResourceVector max_vm_capacity = cluster.max_vm_capacity();
 
+  // Fault injection. The oracle hangs off its own derived seed stream and
+  // with all rates zero is inert: none of the `faults_on` branches below
+  // execute, no randomness is drawn, and the run is bit-identical to a
+  // build without the subsystem.
+  fault::FaultInjector injector(
+      config_.faults, util::derive_seed(config_.seed, kFaultSeedStream),
+      cluster.num_vms(), max_slot + 1);
+  const bool faults_on = injector.enabled();
+  obs::Counter* m_vm_crashes =
+      obs_on && faults_on ? &reg.counter("fault.vm_crashes") : nullptr;
+  obs::Counter* m_vm_recoveries =
+      obs_on && faults_on ? &reg.counter("fault.vm_recoveries") : nullptr;
+  obs::Counter* m_jobs_killed =
+      obs_on && faults_on ? &reg.counter("fault.jobs_killed") : nullptr;
+  obs::Counter* m_job_retries =
+      obs_on && faults_on ? &reg.counter("fault.job_retries") : nullptr;
+  obs::Counter* m_jobs_dropped =
+      obs_on && faults_on ? &reg.counter("fault.jobs_dropped") : nullptr;
+  obs::Counter* m_gaps =
+      obs_on && faults_on ? &reg.counter("fault.telemetry_gaps") : nullptr;
+  obs::Counter* m_stragglers =
+      obs_on && faults_on ? &reg.counter("fault.straggler_placements")
+                          : nullptr;
+
+  /// Crash-killed jobs waiting out their retry backoff.
+  struct PendingRetry {
+    const Job* job = nullptr;
+    std::int64_t release_slot = 0;
+  };
+  std::vector<PendingRetry> retries;
+  std::unordered_map<std::uint64_t, std::size_t> crash_kills;
+
   for (std::int64_t t = 0;; ++t) {
     if (m_slots != nullptr) m_slots->add(1);
+
+    // --- 0. fault transitions and retry release -----------------------
+    if (faults_on) {
+      for (const fault::VmTransition& tr : injector.transitions_at(t)) {
+        auto& vm = cluster.vm(tr.vm_id);
+        if (tr.up) {
+          vm.recover();
+          ++result.vm_recoveries;
+          if (m_vm_recoveries != nullptr) m_vm_recoveries->add(1);
+          continue;
+        }
+        vm.crash();
+        ++result.vm_crashes;
+        if (m_vm_crashes != nullptr) m_vm_crashes->add(1);
+        // Every tenant dies with the VM — reserved and opportunistic
+        // alike (the pool the latter ride is gone). Killed jobs restart
+        // from scratch after a capped exponential backoff until their
+        // retry budget is spent; the response clock keeps running, so
+        // retries eat into the SLO threshold.
+        for (std::size_t i = 0; i < running.size();) {
+          RunningJob& rj = running[i];
+          if (rj.vm_id != tr.vm_id) {
+            ++i;
+            continue;
+          }
+          ++result.jobs_killed;
+          if (m_jobs_killed != nullptr) m_jobs_killed->add(1);
+          const std::size_t attempt = ++crash_kills[rj.job->id];
+          if (attempt > injector.config().retry_budget) {
+            slo.record_failure(
+                rj.job->id, rj.job->duration_slots,
+                static_cast<std::size_t>(t - rj.submit_slot + 1),
+                static_cast<double>(rj.job->duration_slots) *
+                        rj.job->slo_stretch +
+                    params.slo_slack_slots);
+            ++result.jobs_dropped;
+            if (m_jobs_dropped != nullptr) m_jobs_dropped->add(1);
+          } else {
+            retries.push_back({rj.job, t + injector.retry_backoff(attempt)});
+            ++result.job_retries;
+            if (m_job_retries != nullptr) m_job_retries->add(1);
+          }
+          running[i] = std::move(running.back());
+          running.pop_back();
+        }
+      }
+      for (std::size_t i = 0; i < retries.size();) {
+        if (retries[i].release_slot <= t) {
+          queue.push_back(retries[i].job);
+          retries.erase(retries.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+
     // --- 1. arrivals ------------------------------------------------
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].submit_slot <= t) {
@@ -315,6 +418,9 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
         for (std::size_t member : decision.batch_indices) {
           placed[member] = true;
           const Job& job = *batch[member];
+          if (m_stragglers != nullptr && injector.is_straggler(job.id)) {
+            m_stragglers->add(1);
+          }
           RunningJob rj;
           rj.job = &job;
           rj.vm_id = decision.vm_id;
@@ -345,6 +451,13 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
       RunningJob& rj = running[i];
       const auto idx = static_cast<std::size_t>(rj.progress);
       desired[i] = rj.job->demand_at(idx);
+      if (faults_on && injector.is_straggler(rj.job->id)) {
+        // Demand-spike straggler: inflate the demand curve, capped at the
+        // request (a tenant cannot demand beyond its reservation).
+        desired[i] = ResourceVector::min(
+            desired[i] * injector.demand_multiplier(rj.job->id),
+            rj.job->request);
+      }
       if (rj.kind == sched::AllocationKind::kReserved) {
         received[i] = ResourceVector::min(desired[i], rj.allocated);
         vm_consumed[rj.vm_id] += received[i];
@@ -396,13 +509,23 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
           rj.starved_slots = 0;
         }
       }
+      // A telemetry gap drops this slot's unused observation: the
+      // predictor sees a NaN marker (imputed downstream) instead of the
+      // real sample. Demand history is the scheduler's own bookkeeping
+      // and is not subject to telemetry loss.
+      const bool gap = faults_on && injector.telemetry_gap(rj.job->id, t);
+      if (gap) {
+        ++result.telemetry_gaps;
+        if (m_gaps != nullptr) m_gaps->add(1);
+      }
       for (std::size_t r = 0; r < kNumResources; ++r) {
         rj.demand_history[r].push_back(desired[i][r]);
         // Unused history is request-normalized, matching the corpus the
         // prediction stacks were trained on.
         const double request = rj.job->request[r];
         rj.unused_history[r].push_back(
-            request > 0.0
+            gap ? std::numeric_limits<double>::quiet_NaN()
+            : request > 0.0
                 ? std::max(0.0, rj.allocated[r] - received[i][r]) / request
                 : 0.0);
       }
@@ -492,8 +615,15 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
             predictor_->record_outcome(actual, *rj.pending_prediction);
             rj.pending_prediction.reset();
           }
+          predict::InjectedFaultVector injected{};
+          if (faults_on) {
+            for (std::size_t r = 0; r < kNumResources; ++r) {
+              injected[r] = static_cast<predict::InjectedFault>(
+                  injector.predictor_fault(rj.job->id, t, r));
+            }
+          }
           const ResourceVector fraction =
-              predictor_->predict(rj.unused_history);
+              predictor_->predict(rj.unused_history, injected);
           for (std::size_t r = 0; r < kNumResources; ++r) {
             rj.cached_prediction[r] =
                 std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];
@@ -562,8 +692,8 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
     }
 
     // --- 6. termination ---------------------------------------------------
-    const bool drained =
-        queue.empty() && running.empty() && next_arrival == jobs.size();
+    const bool drained = queue.empty() && running.empty() &&
+                         retries.empty() && next_arrival == jobs.size();
     if (drained || t >= max_slot) {
       result.slots_simulated = t + 1;
       if (!drained) {
@@ -586,6 +716,15 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
                          params.slo_slack_slots);
           ++result.jobs_forced;
         }
+        for (const PendingRetry& pr : retries) {
+          const auto response =
+              static_cast<std::size_t>(t - pr.job->submit_slot + 1);
+          slo.record(pr.job->id, pr.job->duration_slots, response,
+                     static_cast<double>(pr.job->duration_slots) *
+                             pr.job->slo_stretch +
+                         params.slo_slack_slots);
+          ++result.jobs_forced;
+        }
       }
       break;
     }
@@ -602,6 +741,7 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   result.mean_stretch = slo.mean_stretch();
   result.jobs_completed = slo.completed();
   result.jobs_violated = slo.violations();
+  result.degradation_tier = static_cast<int>(predictor_->tier());
   result.compute_latency_ms = compute_ms;
   result.total_latency_ms = compute_ms + comm_us / 1000.0;
   if (obs_on) {

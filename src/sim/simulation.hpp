@@ -32,6 +32,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/slo.hpp"
+#include "fault/fault.hpp"
 #include "predict/vector_predictor.hpp"
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
@@ -59,6 +60,10 @@ struct SimulationConfig {
   bool enable_hmm_correction = true;
   bool enable_confidence_bound = true;
   std::uint64_t seed = 42;
+  /// Fault-injection model. All rates zero (the default) keeps the
+  /// injector inert: no randomness is drawn and every output is
+  /// bit-identical to a fault-free build.
+  fault::FaultConfig faults;
   /// Record a per-slot Timeline into the result (costs memory per slot).
   bool record_timeline = false;
   /// Safety valve: stop this many slots past the trace horizon and count
@@ -87,6 +92,21 @@ struct SimulationResult {
   double compute_latency_ms = 0.0;
   /// compute latency + modeled communication overhead, milliseconds.
   double total_latency_ms = 0.0;
+  // --- fault-injection outcomes (all zero when faults are inert) ---
+  std::size_t vm_crashes = 0;
+  std::size_t vm_recoveries = 0;
+  /// Running jobs killed by a VM crash (each kill re-queues or drops).
+  std::size_t jobs_killed = 0;
+  /// Crash-killed jobs re-queued with capped exponential backoff.
+  std::size_t job_retries = 0;
+  /// Jobs dropped after exhausting the crash-retry budget; permanent SLO
+  /// failures, included in the violation rate.
+  std::size_t jobs_dropped = 0;
+  /// (job, slot) telemetry gaps injected into predictor histories.
+  std::size_t telemetry_gaps = 0;
+  /// Predictor degradation tier when the run ended (0 = primary,
+  /// 1 = ETS fallback, 2 = reserved-only).
+  int degradation_tier = 0;
   std::int64_t slots_simulated = 0;
   /// Populated when SimulationConfig::record_timeline is set.
   Timeline timeline;

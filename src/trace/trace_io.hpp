@@ -18,9 +18,11 @@ namespace corp::trace {
 void write_trace_csv(const Trace& trace, std::ostream& out);
 void write_trace_csv_file(const Trace& trace, const std::string& path);
 
-/// Parses a trace written by write_trace_csv. Rows that fail validation
-/// (negative demand, usage above request, inconsistent duration) raise
-/// std::runtime_error with the offending job id.
+/// Parses a trace written by write_trace_csv. Malformed input (bad header,
+/// wrong field count, non-numeric or out-of-range fields) raises
+/// std::runtime_error naming the 1-based line and the offending column; rows
+/// that fail semantic validation (negative demand, usage above request,
+/// inconsistent duration) raise std::runtime_error with the offending job id.
 Trace read_trace_csv(std::istream& in);
 Trace read_trace_csv_file(const std::string& path);
 

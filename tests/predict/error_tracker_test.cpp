@@ -70,6 +70,39 @@ TEST(ErrorTrackerTest, CapacityEvictsOldest) {
   EXPECT_DOUBLE_EQ(tracker.mean(), 1.0);
 }
 
+TEST(ErrorTrackerTest, AllZeroErrorsArePerfectPredictions) {
+  // delta == 0 everywhere: zero bias, zero spread, and every sample sits
+  // at the closed end of [0, eps), so any positive epsilon unlocks fully.
+  PredictionErrorTracker tracker;
+  for (int i = 0; i < 16; ++i) tracker.record(2.5, 2.5);
+  EXPECT_EQ(tracker.count(), 16u);
+  EXPECT_DOUBLE_EQ(tracker.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.probability_within(1e-12), 1.0);
+  EXPECT_TRUE(tracker.unlocked(1e-12, 1.0));
+  // epsilon == 0 makes [0, 0) empty: nothing is within, nothing unlocks.
+  EXPECT_DOUBLE_EQ(tracker.probability_within(0.0), 0.0);
+  EXPECT_FALSE(tracker.unlocked(0.0, 0.5));
+}
+
+TEST(ErrorTrackerTest, GateIsInclusiveAtExactThreshold) {
+  // Eq. 21 boundary: Pr == P_th exactly. 3 of 4 samples land in [0, eps),
+  // so Pr is exactly 0.75 — the >= gate must unlock at p_threshold = 0.75
+  // and stay locked for anything strictly above it.
+  PredictionErrorTracker tracker;
+  tracker.record(1.0, 1.0);   // delta = 0 -> within
+  tracker.record(1.25, 1.0);  // delta = 0.25 -> within
+  tracker.record(1.5, 1.0);   // delta = 0.5 -> within
+  tracker.record(5.0, 1.0);   // delta = 4 -> outside
+  ASSERT_DOUBLE_EQ(tracker.probability_within(1.0), 0.75);
+  EXPECT_TRUE(tracker.unlocked(1.0, 0.75));
+  EXPECT_FALSE(tracker.unlocked(1.0, 0.75 + 1e-12));
+  // Degenerate thresholds: P_th = 0 always unlocks once samples exist;
+  // P_th = 1 requires every sample within.
+  EXPECT_TRUE(tracker.unlocked(1.0, 0.0));
+  EXPECT_FALSE(tracker.unlocked(1.0, 1.0));
+}
+
 TEST(ErrorTrackerTest, ResetClears) {
   PredictionErrorTracker tracker;
   tracker.record(1.0, 0.0);

@@ -1,0 +1,104 @@
+#include "predict/health_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace corp::predict {
+namespace {
+
+HealthConfig small_config() {
+  HealthConfig config;
+  config.fault_window = 8;
+  config.demote_faults = 3;
+  config.promote_healthy = 6;
+  return config;
+}
+
+TEST(HealthMonitorTest, HealthyForecastsKeepPrimary) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(monitor.observe(0.5));
+  }
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.faults_observed(), 0u);
+  EXPECT_EQ(monitor.demotions(), 0u);
+}
+
+TEST(HealthMonitorTest, HealthyClassification) {
+  const PredictorHealthMonitor monitor;
+  EXPECT_TRUE(monitor.healthy(0.0));
+  EXPECT_TRUE(monitor.healthy(1.0));
+  EXPECT_TRUE(monitor.healthy(-0.1));
+  EXPECT_FALSE(monitor.healthy(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(monitor.healthy(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(monitor.healthy(1e9));  // past the explosion threshold
+}
+
+TEST(HealthMonitorTest, AccumulatedFaultsDemote) {
+  PredictorHealthMonitor monitor(small_config());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(monitor.observe(nan));
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  monitor.observe(nan);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  monitor.observe(nan);  // third fault in window of 8 -> demote
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  EXPECT_EQ(monitor.demotions(), 1u);
+}
+
+TEST(HealthMonitorTest, RepeatedFaultsReachReservedOnlyAndStay) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 100; ++i) monitor.observe(1e12);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kReservedOnly);
+  // No rung below reserved-only.
+  monitor.observe(1e12);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kReservedOnly);
+  EXPECT_GE(monitor.demotions(), 2u);
+}
+
+TEST(HealthMonitorTest, PromotionRequiresHealthyStreak) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // Five healthy observations: streak of 6 not yet reached.
+  for (int i = 0; i < 5; ++i) monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.promotions(), 1u);
+}
+
+TEST(HealthMonitorTest, FaultResetsHealthyStreakHysteresis) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // A flapping predictor: 5 healthy then a fault, repeatedly. The streak
+  // never reaches 6, so the monitor never promotes.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) monitor.observe(0.4);
+    monitor.observe(std::numeric_limits<double>::quiet_NaN());
+  }
+  EXPECT_NE(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.promotions(), 0u);
+}
+
+TEST(HealthMonitorTest, ResetRestoresPristineState) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 50; ++i) monitor.observe(1e12);
+  monitor.reset();
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.faults_observed(), 0u);
+  EXPECT_EQ(monitor.demotions(), 0u);
+  EXPECT_EQ(monitor.promotions(), 0u);
+}
+
+TEST(HealthMonitorTest, TierNames) {
+  EXPECT_STREQ(tier_name(DegradationTier::kPrimary), "primary");
+  EXPECT_STREQ(tier_name(DegradationTier::kFallback), "fallback");
+  EXPECT_STREQ(tier_name(DegradationTier::kReservedOnly), "reserved-only");
+}
+
+}  // namespace
+}  // namespace corp::predict

@@ -74,6 +74,76 @@ TEST(TraceIoTest, InvalidJobRejected) {
   EXPECT_THROW(read_trace_csv(in), std::runtime_error);
 }
 
+// Captures the diagnostic text so the negative tests below can pin that a
+// parse error names the 1-based line and the offending column.
+std::string parse_error(const std::string& csv) {
+  std::istringstream in(csv);
+  try {
+    read_trace_csv(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected read_trace_csv to throw";
+  return {};
+}
+
+constexpr const char* kGoodHeader =
+    "job_id,class,submit_slot,duration_slots,slo_stretch,"
+    "req_cpu,req_mem,req_storage,slot,use_cpu,use_mem,use_storage\n";
+
+TEST(TraceIoTest, BadHeaderNamesLineAndExpectation) {
+  const std::string message =
+      parse_error("job_id,klass,submit_slot\n1,0,0\n");
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("unexpected header"), std::string::npos) << message;
+  EXPECT_NE(message.find("job_id,class"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, TruncatedRowNamesLineAndFieldCount) {
+  // Second data row (file line 3) is missing its usage columns.
+  const std::string message =
+      parse_error(std::string(kGoodHeader) +
+                  "1,0,0,1,1.2,1.0,1.0,1.0,0,0.5,0.5,0.5\n"
+                  "1,0,0,1,1.2,1.0,1.0\n");
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("expected 12 fields, got 7"), std::string::npos)
+      << message;
+}
+
+TEST(TraceIoTest, NonNumericFieldNamesLineAndColumn) {
+  const std::string message =
+      parse_error(std::string(kGoodHeader) +
+                  "1,0,0,1,1.2,banana,1.0,1.0,0,0.5,0.5,0.5\n");
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("'req_cpu'"), std::string::npos) << message;
+  EXPECT_NE(message.find("banana"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, TrailingGarbageInIntegerRejected) {
+  // "12abc" parses as 12 under raw std::stoull; the hardened reader
+  // requires full consumption and names the column.
+  const std::string message =
+      parse_error(std::string(kGoodHeader) +
+                  "12abc,0,0,1,1.2,1.0,1.0,1.0,0,0.5,0.5,0.5\n");
+  EXPECT_NE(message.find("'job_id'"), std::string::npos) << message;
+  EXPECT_NE(message.find("12abc"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, NegativeUnsignedFieldRejected) {
+  const std::string message =
+      parse_error(std::string(kGoodHeader) +
+                  "1,0,0,-4,1.2,1.0,1.0,1.0,0,0.5,0.5,0.5\n");
+  EXPECT_NE(message.find("'duration_slots'"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, JobClassOutOfRangeRejected) {
+  const std::string message =
+      parse_error(std::string(kGoodHeader) +
+                  "1,9,0,1,1.2,1.0,1.0,1.0,0,0.5,0.5,0.5\n");
+  EXPECT_NE(message.find("'class'"), std::string::npos) << message;
+  EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+}
+
 TEST(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(read_trace_csv_file("/nonexistent/trace.csv"),
                std::runtime_error);

@@ -15,8 +15,10 @@
 //               --no-metrics 1 (disable collection)
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "predict/backtest.hpp"
@@ -53,6 +55,19 @@ subcommands:
 workload kinds: paper-sweep (default), burst, trickle, heavy-tail,
                 mixed-services
 
+fault injection (docs/resilience.md): run/compare/replicate accept
+  --fault-intensity A  canonical fault mix at intensity A in [0, 1]
+                       (VM crashes, telemetry gaps, stragglers, poisoned
+                       forecasts; 0 = fault-free, bit-identical to omitting
+                       every fault flag)
+  --vm-mttf S / --vm-mttr S            mean slots to VM failure / repair
+  --gap-rate P / --gap-mean S          telemetry-gap open rate and length
+  --straggler-rate P / --straggler-factor F   demand-spike stragglers
+  --predictor-fault-rate P             poisoned raw forecasts
+  --retry-budget N                     crash retries before a job is dropped
+  individual knobs override the --fault-intensity mix; probabilities must
+  lie in [0, 1]
+
 observability (docs/observability.md): any subcommand accepts
   --metrics-out PATH   append the run's metrics snapshot to PATH as one
                        JSON line (schema_version/run_id/phases/counters/
@@ -62,6 +77,82 @@ observability (docs/observability.md): any subcommand accepts
   --no-metrics 1       disable metric collection entirely
 )";
   return 0;
+}
+
+/// Flags every subcommand understands.
+const std::vector<std::string> kCommonFlags{
+    "env",          "jobs",        "seed",
+    "threads",      "workload",    "aggressiveness",
+    "metrics-out",  "metrics-csv", "no-metrics",
+    "fault-intensity", "vm-mttf",  "vm-mttr",
+    "gap-rate",     "gap-mean",    "straggler-rate",
+    "straggler-factor", "predictor-fault-rate", "retry-budget"};
+
+/// Known-flag list for one subcommand: the common set plus its extras.
+/// Unknown subcommands get an empty optional (caller prints usage).
+std::optional<std::vector<std::string>> known_flags(
+    const std::string& command) {
+  std::vector<std::string> flags = kCommonFlags;
+  auto add = [&flags](std::initializer_list<const char*> extra) {
+    flags.insert(flags.end(), extra.begin(), extra.end());
+    return flags;
+  };
+  if (command == "run") return add({"method", "timeline"});
+  if (command == "compare") return add({});
+  if (command == "replicate") return add({"method", "reps"});
+  if (command == "trace-gen") return add({"out"});
+  if (command == "stats") return add({"trace"});
+  if (command == "backtest") return add({"method"});
+  if (command == "convert") return add({"events", "usage", "out"});
+  return std::nullopt;
+}
+
+/// A probability flag; throws when outside [0, 1].
+double get_probability(const util::ArgParser& args, const std::string& flag,
+                       double fallback) {
+  const double p = args.get_double(flag, fallback);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("--" + flag + " must be in [0, 1], got " +
+                                std::to_string(p));
+  }
+  return p;
+}
+
+/// A non-negative magnitude flag; throws on negative values.
+double get_non_negative(const util::ArgParser& args, const std::string& flag,
+                        double fallback) {
+  const double v = args.get_double(flag, fallback);
+  if (v < 0.0) {
+    throw std::invalid_argument("--" + flag + " must be >= 0, got " +
+                                std::to_string(v));
+  }
+  return v;
+}
+
+/// Builds the fault model from the CLI: --fault-intensity selects the
+/// canonical mix, individual knobs override on top.
+fault::FaultConfig faults_from(const util::ArgParser& args) {
+  fault::FaultConfig faults;
+  if (args.has("fault-intensity")) {
+    faults = fault::scaled_fault_config(
+        get_probability(args, "fault-intensity", 0.0));
+  }
+  faults.vm_mttf_slots =
+      get_non_negative(args, "vm-mttf", faults.vm_mttf_slots);
+  faults.vm_mttr_slots =
+      get_non_negative(args, "vm-mttr", faults.vm_mttr_slots);
+  faults.telemetry_gap_rate =
+      get_probability(args, "gap-rate", faults.telemetry_gap_rate);
+  faults.telemetry_gap_mean_slots =
+      get_non_negative(args, "gap-mean", faults.telemetry_gap_mean_slots);
+  faults.straggler_rate =
+      get_probability(args, "straggler-rate", faults.straggler_rate);
+  faults.straggler_demand_factor = get_non_negative(
+      args, "straggler-factor", faults.straggler_demand_factor);
+  faults.predictor_fault_rate = get_probability(
+      args, "predictor-fault-rate", faults.predictor_fault_rate);
+  faults.retry_budget = args.get_size("retry-budget", faults.retry_budget);
+  return faults;
 }
 
 cluster::EnvironmentConfig env_from(const util::ArgParser& args) {
@@ -99,9 +190,15 @@ RunSetup setup_from(const util::ArgParser& args) {
   setup.experiment.seed =
       static_cast<std::uint64_t>(args.get_int("seed", 7));
   setup.workload = workload_from(args.get("workload", "paper-sweep"));
-  setup.jobs = static_cast<std::size_t>(args.get_int("jobs", 150));
-  setup.aggressiveness = args.get_double("aggressiveness", 0.35);
+  const std::int64_t jobs = args.get_int("jobs", 150);
+  if (jobs < 1 || jobs > 1'000'000) {
+    throw std::invalid_argument("--jobs must be in [1, 1000000], got " +
+                                std::to_string(jobs));
+  }
+  setup.jobs = static_cast<std::size_t>(jobs);
+  setup.aggressiveness = get_probability(args, "aggressiveness", 0.35);
   setup.experiment.params.threads = args.get_size("threads", 0);
+  setup.experiment.faults = faults_from(args);
   return setup;
 }
 
@@ -142,7 +239,8 @@ sim::PointResult run_method(const RunSetup& setup, predict::Method method,
 }
 
 void print_results(const std::vector<predict::Method>& methods,
-                   const std::vector<sim::PointResult>& results) {
+                   const std::vector<sim::PointResult>& results,
+                   bool faults_active) {
   util::TextTable table({"method", "overall util", "slo violation",
                          "pred error", "opportunistic", "latency ms"});
   for (std::size_t i = 0; i < methods.size(); ++i) {
@@ -154,6 +252,22 @@ void print_results(const std::vector<predict::Method>& methods,
                    r.sim.total_latency_ms});
   }
   std::cout << table.to_string();
+  if (!faults_active) return;
+  // Fault accounting is printed only when injection is active, so
+  // fault-free invocations stay byte-identical to earlier releases.
+  util::TextTable faults({"method", "crashes", "killed", "retries",
+                          "dropped", "gaps", "degrade tier"});
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const auto& r = results[i].sim;
+    faults.add_row(std::string(predict::method_name(methods[i])),
+                   {static_cast<double>(r.vm_crashes),
+                    static_cast<double>(r.jobs_killed),
+                    static_cast<double>(r.job_retries),
+                    static_cast<double>(r.jobs_dropped),
+                    static_cast<double>(r.telemetry_gaps),
+                    static_cast<double>(r.degradation_tier)});
+  }
+  std::cout << "fault accounting:\n" << faults.to_string();
 }
 
 int cmd_run(const util::ArgParser& args) {
@@ -163,7 +277,7 @@ int cmd_run(const util::ArgParser& args) {
             << sim::workload_name(setup.workload) << " (" << setup.jobs
             << " jobs, " << setup.experiment.environment.name << ")\n";
   const auto result = run_method(setup, method, args.get("timeline", ""));
-  print_results({method}, {result});
+  print_results({method}, {result}, setup.experiment.faults.any());
   return 0;
 }
 
@@ -178,7 +292,7 @@ int cmd_compare(const util::ArgParser& args) {
   for (predict::Method m : methods) {
     results.push_back(run_method(setup, m, ""));
   }
-  print_results(methods, results);
+  print_results(methods, results, setup.experiment.faults.any());
   return 0;
 }
 
@@ -309,9 +423,7 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "stats") return cmd_stats(args);
   if (command == "backtest") return cmd_backtest(args);
   if (command == "convert") return cmd_convert(args);
-  std::cerr << "unknown subcommand '" << command << "'\n\n";
-  usage();
-  return 2;
+  return 2;  // unreachable: main rejects unknown subcommands first
 }
 
 /// Exports the accumulated snapshot after a successful subcommand when
@@ -341,13 +453,29 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "help" || command == "--help") return usage();
+  const std::optional<std::vector<std::string>> known = known_flags(command);
+  if (!known.has_value()) {
+    std::cerr << "error: unknown subcommand '" << command << "'\n\n";
+    usage();
+    return 2;
+  }
   try {
-    const util::ArgParser args(argc, argv, 2);
+    // ArgParser rejects flags outside the subcommand's known list, so a
+    // typo'd or misplaced flag dies here with a diagnostic instead of
+    // being silently ignored.
+    const util::ArgParser args(argc, argv, 2, *known);
     obs::set_enabled(!args.has("no-metrics"));
     const int rc = dispatch(command, args);
     if (rc == 0) export_metrics(command, args);
     return rc;
+  } catch (const std::invalid_argument& e) {
+    // Bad invocation (unknown flag, out-of-range or malformed value):
+    // diagnose, point at help, exit nonzero.
+    std::cerr << "error: " << e.what() << '\n'
+              << "run 'corpsim help' for usage\n";
+    return 2;
   } catch (const std::exception& e) {
+    // Runtime failure (unreadable trace, malformed input file, ...).
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }

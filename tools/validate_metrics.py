@@ -22,6 +22,7 @@ Checks per record:
   * histogram `le` bounds strictly increase; `cum` has one extra
     (overflow) entry, is monotone non-decreasing, and ends at `count`
   * --require-phases: each comma-separated prefix matches >= 1 phase
+  * --require-counters: each comma-separated prefix matches >= 1 counter
 
 Only the Python standard library is used.
 """
@@ -129,7 +130,7 @@ def check_histograms(where, histograms):
             fail(hwhere, f"cum[-1] ({cum[-1]}) != count ({count})")
 
 
-def check_record(where, record, require_phases):
+def check_record(where, record, require_phases, require_counters):
     if not isinstance(record, dict):
         fail(where, "record is not a JSON object")
     version = record.get("schema_version")
@@ -153,9 +154,14 @@ def check_record(where, record, require_phases):
         if not any(name.startswith(prefix) for name in phase_names):
             fail(where, f"no phase matches required prefix {prefix!r} "
                         f"(have: {', '.join(sorted(phase_names))})")
+    counter_names = list(metrics["counters"])
+    for prefix in require_counters:
+        if not any(name.startswith(prefix) for name in counter_names):
+            fail(where, f"no counter matches required prefix {prefix!r} "
+                        f"(have: {', '.join(sorted(counter_names))})")
 
 
-def validate_file(path, require_phases):
+def validate_file(path, require_phases, require_counters):
     records = 0
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
@@ -167,7 +173,7 @@ def validate_file(path, require_phases):
                 record = json.loads(line)
             except json.JSONDecodeError as err:
                 fail(where, f"invalid JSON: {err}")
-            check_record(where, record, require_phases)
+            check_record(where, record, require_phases, require_counters)
             records += 1
     if records == 0:
         fail(path, "no records found")
@@ -180,13 +186,17 @@ def main():
     parser.add_argument(
         "--require-phases", default="",
         help="comma-separated phase-name prefixes each record must cover")
+    parser.add_argument(
+        "--require-counters", default="",
+        help="comma-separated counter-name prefixes each record must cover")
     args = parser.parse_args()
     require_phases = [p for p in args.require_phases.split(",") if p]
+    require_counters = [p for p in args.require_counters.split(",") if p]
 
     status = 0
     for path in args.files:
         try:
-            records = validate_file(path, require_phases)
+            records = validate_file(path, require_phases, require_counters)
             print(f"ok: {path} ({records} record(s))")
         except (OSError, SchemaError) as err:
             print(f"FAIL: {err}", file=sys.stderr)
