@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
                    r.slo_violation_rate, point.prediction.error_rate,
                    r.total_latency_ms,
                    static_cast<double>(r.opportunistic_placements) /
-                       std::max<std::size_t>(1, r.reserved_placements)});
+                       static_cast<double>(std::max<std::size_t>(
+                           1, r.reserved_placements))});
     std::cout << "ran " << predict::method_name(method) << ": "
               << r.jobs_completed << " jobs completed, "
               << r.jobs_violated << " SLO violations, "

@@ -4,18 +4,19 @@
 #include <cmath>
 
 #include "util/rng.hpp"
+#include "util/seed_streams.hpp"
 
 namespace corp::fault {
 
 namespace {
 
-/// Stream tags separating the fault stream families from each other (and,
-/// via util::derive_seed's avalanche, from every other stream in the
-/// process). ASCII mnemonics, same convention as the replication stream.
-constexpr std::uint64_t kVmStream = 0x564d4352ULL;        // "VMCR"
-constexpr std::uint64_t kGapStream = 0x54474150ULL;       // "TGAP"
-constexpr std::uint64_t kStragglerStream = 0x53545247ULL; // "STRG"
-constexpr std::uint64_t kPredictorStream = 0x50464c54ULL; // "PFLT"
+// Stream tags separating the fault stream families live in the central
+// registry (util/seed_streams.hpp), which static_asserts they are
+// pairwise distinct across the whole process.
+using util::seed_stream::kFaultPredictor;
+using util::seed_stream::kFaultStraggler;
+using util::seed_stream::kFaultTelemetryGap;
+using util::seed_stream::kFaultVm;
 
 /// Uniform double in [0, 1) from a mixed 64-bit hash (53-bit mantissa).
 double uniform01(std::uint64_t h) {
@@ -72,7 +73,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t seed,
   for (std::size_t v = 0; v < num_vms; ++v) {
     // A dedicated generator per VM: the schedule of VM k is invariant to
     // the cluster size and to the other VMs' schedules.
-    util::Rng rng(util::derive_seed(seed, kVmStream,
+    util::Rng rng(util::derive_seed(seed, kFaultVm,
                                     static_cast<std::uint64_t>(v)));
     std::int64_t t = 0;
     while (true) {
@@ -130,8 +131,8 @@ bool FaultInjector::telemetry_gap(std::uint64_t job_id,
   // slots; check each candidate opening slot.
   const std::int64_t first = std::max<std::int64_t>(0, slot - max_gap_slots_ + 1);
   for (std::int64_t s = first; s <= slot; ++s) {
-    const std::uint64_t h =
-        hash_sub(seed_, kGapStream, job_id, static_cast<std::uint64_t>(s));
+    const std::uint64_t h = hash_sub(seed_, kFaultTelemetryGap, job_id,
+                                     static_cast<std::uint64_t>(s));
     if (uniform01(h) >= config_.telemetry_gap_rate) continue;
     if (s + gap_length(config_, h) > slot) return true;
   }
@@ -140,7 +141,7 @@ bool FaultInjector::telemetry_gap(std::uint64_t job_id,
 
 bool FaultInjector::is_straggler(std::uint64_t job_id) const {
   if (config_.straggler_rate <= 0.0) return false;
-  return uniform01(util::derive_seed(seed_, kStragglerStream, job_id)) <
+  return uniform01(util::derive_seed(seed_, kFaultStraggler, job_id)) <
          config_.straggler_rate;
 }
 
@@ -153,7 +154,7 @@ PredictorFaultKind FaultInjector::predictor_fault(std::uint64_t job_id,
                                                   std::size_t resource) const {
   if (config_.predictor_fault_rate <= 0.0) return PredictorFaultKind::kNone;
   const std::uint64_t h = hash_sub(
-      seed_, kPredictorStream, job_id,
+      seed_, kFaultPredictor, job_id,
       static_cast<std::uint64_t>(slot) * 8 + static_cast<std::uint64_t>(resource));
   if (uniform01(h) >= config_.predictor_fault_rate) {
     return PredictorFaultKind::kNone;

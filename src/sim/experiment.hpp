@@ -20,17 +20,15 @@
 
 #include "sim/prediction_eval.hpp"
 #include "sim/simulation.hpp"
+#include "util/seed_streams.hpp"
 
 namespace corp::sim {
 
-/// Stream tags for util::derive_seed: every random stream hanging off one
-/// experiment seed gets its own tag, so streams never alias each other or
-/// a neighbouring sweep seed's streams.
-namespace seed_stream {
-inline constexpr std::uint64_t kTraining = 1;
-inline constexpr std::uint64_t kEvaluation = 2;
-inline constexpr std::uint64_t kSimulation = 3;
-}  // namespace seed_stream
+/// Stream tags for util::derive_seed live in the central registry
+/// (util/seed_streams.hpp), where a static_assert proves they are
+/// pairwise distinct. The alias keeps the historical spelling
+/// `seed_stream::kTraining` etc. working for sim code.
+namespace seed_stream = ::corp::util::seed_stream;
 
 /// Seed of the (shared, per-experiment) training trace.
 std::uint64_t training_seed(std::uint64_t base_seed);

@@ -8,16 +8,13 @@
 
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/seed_streams.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace corp::sim {
 
 namespace {
-
-/// Stream tag separating replica seeds from the other derived streams
-/// hanging off an experiment seed (see seed_stream in experiment.hpp).
-constexpr std::uint64_t kReplicaStream = 0x5245504cULL;  // "REPL"
 
 MetricEstimate estimate(const std::vector<double>& samples,
                         double confidence) {
@@ -43,7 +40,7 @@ MetricEstimate estimate(const std::vector<double>& samples,
 }  // namespace
 
 std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica) {
-  return util::derive_seed(base_seed, kReplicaStream,
+  return util::derive_seed(base_seed, util::seed_stream::kReplica,
                            static_cast<std::uint64_t>(replica));
 }
 

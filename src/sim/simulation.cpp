@@ -16,6 +16,7 @@
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
 #include "util/rng.hpp"
+#include "util/seed_streams.hpp"
 
 namespace corp::sim {
 
@@ -31,10 +32,6 @@ double elapsed_ms(Clock::time_point start) {
       .count();
 }
 
-/// derive_seed stream tag of the fault-injection oracle ("FALT"): keeps
-/// the fault pattern independent of every other stream hanging off the
-/// simulation seed.
-constexpr std::uint64_t kFaultSeedStream = 0x46414C54ULL;
 
 /// Bottleneck satisfaction ratio: min over resource types with non-trivial
 /// demand of received/desired, in [0, 1].
@@ -239,7 +236,8 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   // execute, no randomness is drawn, and the run is bit-identical to a
   // build without the subsystem.
   fault::FaultInjector injector(
-      config_.faults, util::derive_seed(config_.seed, kFaultSeedStream),
+      config_.faults,
+      util::derive_seed(config_.seed, util::seed_stream::kFault),
       cluster.num_vms(), max_slot + 1);
   const bool faults_on = injector.enabled();
   obs::Counter* m_vm_crashes =

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace corp::dnn {
 namespace {
 
@@ -112,6 +114,30 @@ TEST(VectorOpsTest, AxpyAndDot) {
   EXPECT_DOUBLE_EQ(
       dot(std::vector<double>{1.0, 2.0}, std::vector<double>{3.0, 4.0}),
       11.0);
+}
+
+TEST(MatrixTest, MultiplyAccumulatesInDoublePrecision) {
+  // Width-regression canary for the -Wconversion / CORP-FLT-001 wall:
+  // the multiply accumulator must stay double. A narrowed float
+  // accumulator collapses 1.0 + 2^-40 to exactly 1.0 (float carries 24
+  // mantissa bits), so this test fails under any silent float rewrite.
+  const double tiny = std::ldexp(1.0, -40);
+  Matrix m(1, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = tiny;
+  const Vector y = m.multiply(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_GT(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[0] - 1.0, tiny);
+}
+
+TEST(VectorOpsTest, DotKeepsDoublePrecision) {
+  // Same canary for the shared dot() kernel used by the DNN layers.
+  const double tiny = std::ldexp(1.0, -40);
+  const double s = dot(std::vector<double>{1.0, tiny},
+                       std::vector<double>{1.0, 1.0});
+  EXPECT_GT(s, 1.0);
+  EXPECT_DOUBLE_EQ(s - 1.0, tiny);
 }
 
 }  // namespace

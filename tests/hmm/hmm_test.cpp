@@ -177,5 +177,32 @@ TEST(DiscreteHmmTest, BackwardScaleMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(DiscreteHmmTest, BackwardSingleObservationBoundary) {
+  // Index-width regression for the unsigned reverse loop
+  // `for (std::size_t t = T - 1; t-- > 0;)` in backward(): at T == 1 the
+  // body must run zero times. A signed/int rewrite of this arithmetic
+  // (the class of bug the -Wconversion wall exists to catch) walks off
+  // the front of beta instead. The single beta row equals the scale.
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{1};
+  const ForwardResult fwd = hmm.forward(obs);
+  const auto beta = hmm.backward(obs, fwd.scale);
+  ASSERT_EQ(beta.size(), 1u);
+  ASSERT_EQ(beta[0].size(), hmm.num_states());
+  for (double b : beta[0]) EXPECT_DOUBLE_EQ(b, fwd.scale[0]);
+}
+
+TEST(DiscreteHmmTest, PosteriorSingleObservationSumsToOne) {
+  // Companion boundary check one layer up: gamma at T == 1 is still a
+  // distribution, exercising the same T-1 arithmetic through posterior().
+  const DiscreteHmm hmm(crisp_params());
+  const std::vector<std::size_t> obs{0};
+  const auto gamma = hmm.posterior_states(obs);
+  ASSERT_EQ(gamma.size(), 1u);
+  double total = 0.0;
+  for (double g : gamma[0]) total += g;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace corp::hmm

@@ -129,8 +129,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllMethods, AdversarialTest,
     ::testing::Values(Method::kCorp, Method::kRccr, Method::kCloudScale,
                       Method::kDra),
-    [](const ::testing::TestParamInfo<Method>& info) {
-      return std::string(predict::method_name(info.param));
+    // `param_info`, not `info`: INSTANTIATE_TEST_SUITE_P's generated code
+    // declares its own `info`, which the lambda parameter would shadow.
+    [](const ::testing::TestParamInfo<Method>& param_info) {
+      return std::string(predict::method_name(param_info.param));
     });
 
 TEST(AdversarialTrainingTest, ConstantHistoryTrainsEveryStack) {

@@ -129,14 +129,16 @@ TEST(ExperimentConfigTest, BaselineKnobsMapped) {
 }
 
 TEST(FigureTest, TableAndCsvRender) {
-  Figure fig;
-  fig.id = "test";
-  fig.title = "Title";
-  fig.xlabel = "x";
-  fig.ylabel = "y";
-  fig.x = {1.0, 2.0};
-  fig.series.push_back({"A", {0.1, 0.2}});
-  fig.series.push_back({"B", {0.3, 0.4}});
+  // Aggregate-init rather than member-wise `fig.xlabel = "x"` assignment:
+  // gcc 12 emits a bogus -Wrestrict through the SSO path of
+  // std::string::operator=(const char*) at -O3 (GCC PR105651), which the
+  // CORP_WERROR wall would turn into a build break.
+  Figure fig{.id = "test",
+             .title = "Title",
+             .xlabel = "x",
+             .ylabel = "y",
+             .x = {1.0, 2.0},
+             .series = {{"A", {0.1, 0.2}}, {"B", {0.3, 0.4}}}};
   const std::string table = fig.to_table();
   EXPECT_NE(table.find("Title"), std::string::npos);
   EXPECT_NE(table.find("A"), std::string::npos);

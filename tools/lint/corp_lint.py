@@ -1,0 +1,555 @@
+#!/usr/bin/env python3
+"""corp_lint: determinism lint for the CORP C++ tree.
+
+The repo's core contract — parallel replication is bit-identical to
+serial, and all-zero fault configs are inert — is enforced at runtime by
+tests, but a single stray ``std::random_device``, unordered-container
+iteration, or silent float/double mixing in the prediction pipeline can
+break Fig.-level reproduction without any test noticing until a replica
+diverges.  This linter catches those project invariants statically, at
+the token level (it is not fooled by string literals or comments).
+
+Rules (see docs/static_analysis.md for the full contract):
+
+  CORP-RNG-001  raw std:: random engine construction outside util/rng
+  CORP-RNG-002  std::random_device (nondeterministic entropy source)
+  CORP-RNG-003  C rand()/srand() (hidden global generator)
+  CORP-TIME-001 wall-clock time in result-affecting code
+  CORP-ORD-001  iteration over an unordered container (hash order leaks
+                into results) without a sorted-gather justification
+  CORP-FLT-001  `float` in the dnn/hmm/predict numeric pipeline, which
+                is double-only by design (silent precision loss)
+  CORP-SEED-001 util::derive_seed called with a bare integer literal as
+                the stream tag instead of a named stream constant
+
+Suppressions are per-rule comments on the offending line or the line
+directly above it, e.g. ``// lint: sorted-gather``.  Each rule names its
+own justification tag so a suppression documents *why* the pattern is
+safe, not just that the linter should be quiet.
+
+Exit status: 0 when clean, 1 on violations, 2 on usage errors.
+
+Usage:
+    python3 tools/lint/corp_lint.py                 # scan src/ bench/ tools/
+    python3 tools/lint/corp_lint.py path1 path2 ...  # scan specific paths
+    python3 tools/lint/corp_lint.py --expect CORP-RNG-002 fixture.cpp
+    python3 tools/lint/corp_lint.py --list-rules
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+#: Token kinds: identifiers, numbers, punctuation, string/char literals.
+#: Comments are not emitted as tokens; their text is collected per line so
+#: rules can look up justification tags.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<string>L?R?"(?:\\.|[^"\\\n])*"|L?'(?:\\.|[^'\\\n])*')
+    | (?P<number>(?:0[xX][0-9a-fA-F']+|\d[\d']*(?:\.\d*)?(?:[eE][-+]?\d+)?)
+                 [uUlLfF]*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct>::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\|
+                |[-+*/%&|^~!<>=?:;,.(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+# Raw strings with custom delimiters are rare in this tree; the plain
+# string branch above covers every literal the code base uses.
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "punct" | "string"
+    text: str
+    line: int
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    tokens: list[Token] = field(default_factory=list)
+    #: line -> concatenated comment text ending on that line
+    comments: dict[int, str] = field(default_factory=dict)
+
+    def justified(self, line: int, tag: str) -> bool:
+        """True if `// lint: <tag>` appears on `line` or the line above."""
+        for probe in (line, line - 1):
+            text = self.comments.get(probe, "")
+            if f"lint: {tag}" in text or f"lint:{tag}" in text:
+                return True
+        return False
+
+
+def tokenize(path: Path, text: str) -> SourceFile:
+    src = SourceFile(path)
+    line = 1
+    pos = 0
+    for match in _TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "comment":
+            end_line = line + value.count("\n")
+            src.comments[end_line] = src.comments.get(end_line, "") + value
+        elif kind is not None:
+            src.tokens.append(Token(kind, value, line))
+    return src
+
+
+# --------------------------------------------------------------------------
+# Rule infrastructure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+RuleFn = Callable[[SourceFile], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    summary: str
+    tag: str  # justification tag accepted by this rule
+    check: RuleFn
+
+
+def _seq(tokens: Sequence[Token], i: int, *texts: str) -> bool:
+    """True if tokens[i:] begin with the given texts."""
+    if i + len(texts) > len(tokens):
+        return False
+    return all(tokens[i + k].text == t for k, t in enumerate(texts))
+
+
+#: Keywords after which `name(` is an expression, not a declarator.
+_EXPR_KEYWORDS = frozenset(
+    {"return", "throw", "co_return", "co_yield", "case", "else", "do"})
+
+
+def _is_call(tokens: Sequence[Token], i: int) -> bool:
+    """True if the identifier at `i` looks like a free-function call.
+
+    Filters two non-call shapes that share the `name(` spelling: member
+    access (`obj.time()`) and declarations (`long time() const`), where
+    the preceding token is a type name rather than an operator/keyword.
+    """
+    if not _seq(tokens, i + 1, "("):
+        return False
+    if i == 0:
+        return True
+    prev = tokens[i - 1]
+    if prev.text in (".", "->"):
+        return False
+    if prev.kind == "ident" and prev.text not in _EXPR_KEYWORDS:
+        return False  # `long time()` — a declarator, not a call
+    return True
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+_RAW_ENGINES = (
+    "mt19937",
+    "mt19937_64",
+    "minstd_rand",
+    "minstd_rand0",
+    "default_random_engine",
+    "ranlux24",
+    "ranlux48",
+    "knuth_b",
+)
+
+#: The one module allowed to own raw engines.
+_RNG_HOME = ("util/rng.hpp", "util/rng.cpp")
+
+
+def _in_rng_home(path: Path) -> bool:
+    text = str(path)
+    return any(text.endswith(suffix) for suffix in _RNG_HOME)
+
+
+def check_raw_engine(src: SourceFile) -> Iterator[Violation]:
+    if _in_rng_home(src.path):
+        return
+    for i, tok in enumerate(src.tokens):
+        if tok.kind != "ident" or tok.text not in _RAW_ENGINES:
+            continue
+        # Only std:: engines count; a project type named e.g. mt19937
+        # elsewhere would be its own design problem but not this rule.
+        if i >= 2 and _seq(src.tokens, i - 2, "std", "::"):
+            if src.justified(tok.line, "raw-engine"):
+                continue
+            yield Violation(
+                src.path, tok.line, "CORP-RNG-001",
+                f"raw std::{tok.text} outside util/rng — all stochastic "
+                "code must draw from util::Rng / util::derive_seed "
+                "(justify with `// lint: raw-engine`)")
+
+
+def check_random_device(src: SourceFile) -> Iterator[Violation]:
+    for i, tok in enumerate(src.tokens):
+        if tok.kind == "ident" and tok.text == "random_device":
+            if i >= 2 and not _seq(src.tokens, i - 2, "std", "::"):
+                continue
+            if src.justified(tok.line, "entropy-source"):
+                continue
+            yield Violation(
+                src.path, tok.line, "CORP-RNG-002",
+                "std::random_device is nondeterministic — experiments "
+                "must be replayable from an explicit seed (justify with "
+                "`// lint: entropy-source`)")
+
+
+def check_c_rand(src: SourceFile) -> Iterator[Violation]:
+    for i, tok in enumerate(src.tokens):
+        if tok.kind != "ident" or tok.text not in ("rand", "srand"):
+            continue
+        if not _is_call(src.tokens, i):
+            continue
+        if src.justified(tok.line, "c-rand"):
+            continue
+        yield Violation(
+            src.path, tok.line, "CORP-RNG-003",
+            f"C {tok.text}() uses a hidden global generator — draw from "
+            "util::Rng instead (justify with `// lint: c-rand`)")
+
+
+_WALL_CLOCK_IDENTS = ("system_clock", "gettimeofday", "localtime", "gmtime",
+                      "localtime_r", "gmtime_r", "strftime")
+
+
+def check_wall_clock(src: SourceFile) -> Iterator[Violation]:
+    for i, tok in enumerate(src.tokens):
+        if tok.kind != "ident":
+            continue
+        hit = None
+        if tok.text in _WALL_CLOCK_IDENTS:
+            hit = tok.text
+        elif tok.text in ("time", "clock") and _is_call(src.tokens, i):
+            # std::time(...) / time(nullptr) / clock() — but not member
+            # calls like timeline.time(), declarations like
+            # `long time() const`, or chrono's .time_since_epoch().
+            hit = f"{tok.text}()"
+        if hit is None:
+            continue
+        if src.justified(tok.line, "wall-clock"):
+            continue
+        yield Violation(
+            src.path, tok.line, "CORP-TIME-001",
+            f"wall-clock source `{hit}` in result-affecting code — results "
+            "must be a function of the seed only; steady_clock is fine for "
+            "phase timing (justify display-only uses with "
+            "`// lint: wall-clock`)")
+
+
+_UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset")
+
+
+def _unordered_names(src: SourceFile) -> set[str]:
+    """Names of variables/members declared with an unordered container type.
+
+    Recognizes `std::unordered_map<...> name` declarations by skipping the
+    balanced template argument list after the container keyword.
+    """
+    names: set[str] = set()
+    toks = src.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text not in _UNORDERED:
+            continue
+        j = i + 1
+        if not _seq(toks, j, "<"):
+            continue
+        depth = 0
+        while j < len(toks):
+            if toks[j].text == "<":
+                depth += 1
+            elif toks[j].text == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif toks[j].text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    break
+            j += 1
+        j += 1
+        # Skip refs/pointers/cv.
+        while j < len(toks) and toks[j].text in ("&", "*", "const"):
+            j += 1
+        if j < len(toks) and toks[j].kind == "ident":
+            names.add(toks[j].text)
+    return names
+
+
+def check_unordered_iteration(src: SourceFile) -> Iterator[Violation]:
+    names = _unordered_names(src)
+    if not names:
+        return
+    toks = src.tokens
+    for i, tok in enumerate(toks):
+        if tok.text != "for" or not _seq(toks, i + 1, "("):
+            continue
+        # Find the `:` of a range-for at paren depth 1, then the iterated
+        # expression up to the closing paren.
+        depth = 0
+        colon = None
+        j = i + 1
+        while j < len(toks):
+            if toks[j].text == "(":
+                depth += 1
+            elif toks[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif toks[j].text == ":" and depth == 1 and colon is None:
+                colon = j
+            elif toks[j].text == ";" and depth == 1:
+                colon = None  # classic for loop
+                break
+            j += 1
+        if colon is None:
+            continue
+        range_names = {t.text for t in toks[colon + 1:j] if t.kind == "ident"}
+        iterated = sorted(range_names & names)
+        if not iterated:
+            continue
+        if src.justified(tok.line, "sorted-gather"):
+            continue
+        yield Violation(
+            src.path, tok.line, "CORP-ORD-001",
+            f"iteration over unordered container `{iterated[0]}` — hash "
+            "order is implementation-defined and leaks into results; sort "
+            "keys first or switch to std::map (justify display-only / "
+            "order-insensitive gathers with `// lint: sorted-gather`)")
+
+
+#: Directories whose numeric pipeline is double-only by design.
+_DOUBLE_ONLY_DIRS = ("dnn", "hmm", "predict")
+
+
+def _in_double_only_dir(path: Path) -> bool:
+    parts = path.parts
+    return any(d in parts for d in _DOUBLE_ONLY_DIRS)
+
+
+def check_float_in_pipeline(src: SourceFile) -> Iterator[Violation]:
+    if not _in_double_only_dir(src.path):
+        return
+    for i, tok in enumerate(src.tokens):
+        is_float_kw = tok.kind == "ident" and tok.text == "float"
+        is_float_lit = tok.kind == "number" and tok.text[-1] in "fF" and \
+            not tok.text.lower().startswith("0x")
+        if not (is_float_kw or is_float_lit):
+            continue
+        if src.justified(tok.line, "float-ok"):
+            continue
+        what = "`float`" if is_float_kw else f"float literal {tok.text}"
+        yield Violation(
+            src.path, tok.line, "CORP-FLT-001",
+            f"{what} in the double-only prediction pipeline — mixed "
+            "float/double accumulators silently lose precision and break "
+            "bit-identical replication (justify with `// lint: float-ok`)")
+
+
+def check_seed_stream_tag(src: SourceFile) -> Iterator[Violation]:
+    if _in_rng_home(src.path):
+        return  # the implementation composes itself with raw integers
+    toks = src.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text != "derive_seed":
+            continue
+        if not _seq(toks, i + 1, "("):
+            continue
+        # Split the argument list at top-level commas.
+        depth = 0
+        args: list[list[Token]] = [[]]
+        j = i + 1
+        while j < len(toks):
+            t = toks[j]
+            if t.text in ("(", "[", "{"):
+                depth += 1
+                if depth > 1:
+                    args[-1].append(t)
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+                if depth == 0:
+                    break
+                args[-1].append(t)
+            elif t.text == "," and depth == 1:
+                args.append([])
+            elif depth >= 1:
+                args[-1].append(t)
+            j += 1
+        # Stream tags are argument 2 (and 3 when present).
+        for arg in args[1:]:
+            if len(arg) == 1 and arg[0].kind == "number":
+                if src.justified(arg[0].line, "literal-stream"):
+                    continue
+                yield Violation(
+                    src.path, arg[0].line, "CORP-SEED-001",
+                    f"derive_seed stream tag is a bare literal "
+                    f"`{arg[0].text}` — use a named stream constant "
+                    "(e.g. seed_stream::kTraining) so streams cannot "
+                    "silently collide across call sites (justify with "
+                    "`// lint: literal-stream`)")
+
+
+RULES: tuple[Rule, ...] = (
+    Rule("CORP-RNG-001", "raw std:: random engine outside util/rng",
+         "raw-engine", check_raw_engine),
+    Rule("CORP-RNG-002", "std::random_device nondeterministic entropy",
+         "entropy-source", check_random_device),
+    Rule("CORP-RNG-003", "C rand()/srand() hidden global generator",
+         "c-rand", check_c_rand),
+    Rule("CORP-TIME-001", "wall-clock time in result-affecting code",
+         "wall-clock", check_wall_clock),
+    Rule("CORP-ORD-001", "iteration over unordered container",
+         "sorted-gather", check_unordered_iteration),
+    Rule("CORP-FLT-001", "float in the double-only prediction pipeline",
+         "float-ok", check_float_in_pipeline),
+    Rule("CORP-SEED-001", "derive_seed stream tag is a bare literal",
+         "literal-stream", check_seed_stream_tag),
+)
+
+#: Default scan roots, relative to the repo root (tests/ is exempt: test
+#: code legitimately pokes raw engines and literal streams at the API).
+DEFAULT_ROOTS = ("src", "bench", "tools")
+
+_CPP_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+
+def iter_cpp_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix in _CPP_SUFFIXES:
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*")):
+                if sub.is_file() and sub.suffix in _CPP_SUFFIXES:
+                    yield sub
+
+
+def lint_file(path: Path) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Violation(path, 0, "CORP-IO-000", f"unreadable: {err}")]
+    src = tokenize(path, text)
+    found: list[Violation] = []
+    for rule in RULES:
+        found.extend(rule.check(src))
+    found.sort(key=lambda v: (str(v.path), v.line, v.rule))
+    return found
+
+
+def find_repo_root(start: Path) -> Path:
+    for candidate in (start, *start.parents):
+        if (candidate / "CMakeLists.txt").is_file() and \
+                (candidate / "src").is_dir():
+            return candidate
+    return start
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to scan (default: src/ bench/ tools/ "
+             "under the repo root)")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root for the default scan set (default: autodetected "
+             "from this script's location)")
+    parser.add_argument(
+        "--expect", metavar="RULE_ID", default=None,
+        help="fixture mode: exit 0 iff at least one violation of exactly "
+             "this rule fires and no other rule does")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.summary}  "
+                  f"(suppress: // lint: {rule.tag})")
+        return 0
+
+    if args.expect is not None and args.expect not in \
+            {rule.rule_id for rule in RULES}:
+        print(f"corp_lint: unknown rule id {args.expect!r}",
+              file=sys.stderr)
+        return 2
+
+    if args.paths:
+        roots = list(args.paths)
+    else:
+        base = args.root if args.root is not None else \
+            find_repo_root(Path(__file__).resolve().parent)
+        roots = [base / name for name in DEFAULT_ROOTS]
+        missing = [r for r in roots if not r.is_dir()]
+        if missing:
+            print(f"corp_lint: scan roots not found: "
+                  f"{', '.join(map(str, missing))}", file=sys.stderr)
+            return 2
+
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_cpp_files(roots):
+        # Never lint the fixture corpus during a default tree scan.
+        if not args.paths and "fixtures" in path.parts:
+            continue
+        files += 1
+        violations.extend(lint_file(path))
+
+    for violation in violations:
+        print(violation.render())
+
+    if args.expect is not None:
+        fired = {v.rule for v in violations}
+        if fired == {args.expect}:
+            print(f"ok: fixture trips exactly {args.expect} "
+                  f"({len(violations)} violation(s))")
+            return 0
+        print(f"FAIL: expected exactly {{{args.expect}}}, got "
+              f"{sorted(fired) or '{}'}", file=sys.stderr)
+        return 1
+
+    if violations:
+        print(f"corp_lint: {len(violations)} violation(s) in {files} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"corp_lint: clean ({files} file(s) scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+// Fixture: must trip exactly CORP-ORD-001.
+// Hash-bucket order is implementation-defined; iterating an unordered
+// container into a result makes the answer depend on libstdc++ internals.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace corp::fixture {
+
+double total_load(const std::unordered_map<std::uint32_t, double>& ignored) {
+  std::unordered_map<std::uint32_t, double> vm_load;
+  vm_load[1] = 0.5;
+  double total = 0.0;
+  for (const auto& [vm, load] : vm_load) {  // violation: hash-order scan
+    total += load * static_cast<double>(vm);
+  }
+  return total + (ignored.empty() ? 0.0 : 1.0);
+}
+
+std::vector<std::uint64_t> gather_ids(
+    const std::unordered_set<std::uint64_t>& pending_ids) {
+  std::vector<std::uint64_t> out;
+  // lint: sorted-gather -- caller sorts before use; order-insensitive
+  for (std::uint64_t id : pending_ids) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+int keyed_lookup_only() {
+  std::unordered_map<int, int> cache;
+  cache[3] = 9;
+  // Keyed access must NOT trip the rule; only iteration leaks order.
+  return cache[3];
+}
+
+}  // namespace corp::fixture

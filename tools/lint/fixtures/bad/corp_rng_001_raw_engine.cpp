@@ -1,0 +1,23 @@
+// Fixture: must trip exactly CORP-RNG-001.
+// A raw std:: engine constructed outside util/rng bypasses the seeded
+// derivation chain; two call sites seeding "independently" can collide.
+#include <random>
+
+namespace corp::fixture {
+
+double sample_demand(unsigned seed) {
+  std::mt19937_64 engine(seed);  // violation: raw engine outside util/rng
+  return static_cast<double>(engine()) / 2.0;
+}
+
+// The string below must NOT trip the rule: the tokenizer sees a string
+// literal, not an identifier.
+inline const char* kDoc = "std::mt19937 is banned outside util/rng";
+
+// A justified use is allowed through:
+inline unsigned legacy_bridge(unsigned seed) {
+  std::mt19937 engine(seed);  // lint: raw-engine -- interop shim for tests
+  return engine();
+}
+
+}  // namespace corp::fixture

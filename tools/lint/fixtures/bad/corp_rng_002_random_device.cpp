@@ -1,0 +1,15 @@
+// Fixture: must trip exactly CORP-RNG-002.
+// std::random_device makes a run unreproducible: no seed can replay it.
+#include <random>
+
+namespace corp::fixture {
+
+unsigned nondeterministic_seed() {
+  std::random_device device;  // violation: nondeterministic entropy
+  return device();
+}
+
+// Commented-out code must not trip:
+// std::random_device old_device;
+
+}  // namespace corp::fixture

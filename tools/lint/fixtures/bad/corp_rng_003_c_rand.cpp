@@ -1,0 +1,24 @@
+// Fixture: must trip exactly CORP-RNG-003.
+// C rand()/srand() share one hidden global stream: any library call that
+// also draws from it silently perturbs every downstream sample.
+#include <cstdlib>
+
+namespace corp::fixture {
+
+void reseed_global(unsigned seed) {
+  srand(seed);  // violation: global generator
+}
+
+int sample_percent() {
+  return rand() % 100;  // violation: global generator
+}
+
+struct Sampler {
+  int rand() const { return 4; }
+};
+
+int not_a_violation(const Sampler& sampler) {
+  return sampler.rand();  // member call: must NOT trip the rule
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,34 @@
+// Fixture: must trip exactly CORP-SEED-001.
+// Bare literal stream tags collide silently: two call sites both passing
+// `1` share a stream without either knowing about the other.
+#include <cstdint>
+
+namespace corp::util {
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t substream);
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+inline constexpr std::uint64_t kWorkloadStream = 12;
+
+std::uint64_t bad_literal_stream(std::uint64_t base) {
+  return util::derive_seed(base, 7);  // violation: bare literal stream
+}
+
+std::uint64_t bad_literal_substream(std::uint64_t base) {
+  // Named stream but literal substream: still a violation.
+  return util::derive_seed(base, kWorkloadStream, 3);
+}
+
+std::uint64_t good_named_stream(std::uint64_t base, std::uint64_t replica) {
+  // Named tag + derived expression: must NOT trip the rule.
+  return util::derive_seed(base, kWorkloadStream, replica + 1);
+}
+
+std::uint64_t justified_literal(std::uint64_t base) {
+  return util::derive_seed(base, 99);  // lint: literal-stream -- fixture probe
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,37 @@
+// Fixture: must trip exactly CORP-TIME-001.
+// Wall-clock time in result-affecting code makes outputs depend on when
+// the experiment ran, not only on the seed.
+#include <chrono>
+#include <ctime>
+
+namespace corp::fixture {
+
+long jitter_from_clock() {
+  // violation: system_clock feeds a result
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long seed_from_time() {
+  return static_cast<long>(std::time(nullptr));  // violation: time()
+}
+
+// steady_clock is fine (phase timing, monotonic durations):
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// Display-only uses can be justified:
+long banner_timestamp() {
+  return static_cast<long>(std::time(nullptr));  // lint: wall-clock -- log banner only
+}
+
+struct Timeline {
+  long time() const { return 7; }
+};
+
+long not_a_violation(const Timeline& timeline) {
+  return timeline.time();  // member call: must NOT trip the rule
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,23 @@
+// Fixture: must trip exactly CORP-FLT-001.
+// Lives under a `predict/` path component so the double-only rule applies
+// (the fixture directory name below stands in for src/predict).
+#include <cstddef>
+#include <vector>
+
+namespace corp::predict_fixture {
+
+double forecast_error(const std::vector<double>& errors) {
+  float acc = 0.0f;  // violation x2: float accumulator + float literal
+  for (double e : errors) {
+    acc += static_cast<float>(e);  // violation: narrowing into the pipeline
+  }
+  return acc;
+}
+
+double justified_quantization(double value) {
+  // lint: float-ok -- deliberate fp32 quantization experiment
+  const float quantized = static_cast<float>(value);  // lint: float-ok
+  return quantized;
+}
+
+}  // namespace corp::predict_fixture

@@ -27,10 +27,13 @@ Checks per record:
 Only the Python standard library is used.
 """
 
+from __future__ import annotations
+
 import argparse
 import json
-import numbers
 import sys
+from collections.abc import Sequence
+from typing import NoReturn
 
 SCHEMA_VERSION = 1
 METRIC_KEYS = ("phases", "counters", "gauges", "histograms")
@@ -40,24 +43,26 @@ class SchemaError(Exception):
     pass
 
 
-def fail(where, message):
+def fail(where: str, message: str) -> NoReturn:
     raise SchemaError(f"{where}: {message}")
 
 
-def check_number(where, value, allow_null=False):
+def check_number(where: str, value: object,
+                 allow_null: bool = False) -> None:
     if value is None and allow_null:
         return
-    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
         fail(where, f"expected a number, got {value!r}")
 
 
-def check_non_negative(where, value):
+def check_non_negative(where: str, value: object) -> None:
     check_number(where, value)
+    assert isinstance(value, (int, float))  # narrowed by check_number
     if value < 0:
         fail(where, f"expected >= 0, got {value!r}")
 
 
-def check_phases(where, phases):
+def check_phases(where: str, phases: object) -> None:
     if not isinstance(phases, dict):
         fail(where, "phases is not an object")
     if not phases:
@@ -75,7 +80,7 @@ def check_phases(where, phases):
             check_non_negative(f"{pwhere}.{field}", phase[field])
 
 
-def check_counters(where, counters):
+def check_counters(where: str, counters: object) -> None:
     if not isinstance(counters, dict):
         fail(where, "counters is not an object")
     for name, value in counters.items():
@@ -86,14 +91,14 @@ def check_counters(where, counters):
             fail(cwhere, f"counter must be non-negative, got {value!r}")
 
 
-def check_gauges(where, gauges):
+def check_gauges(where: str, gauges: object) -> None:
     if not isinstance(gauges, dict):
         fail(where, "gauges is not an object")
     for name, value in gauges.items():
         check_number(f"{where}.gauges[{name}]", value, allow_null=True)
 
 
-def check_histograms(where, histograms):
+def check_histograms(where: str, histograms: object) -> None:
     if not isinstance(histograms, dict):
         fail(where, "histograms is not an object")
     for name, hist in histograms.items():
@@ -105,7 +110,8 @@ def check_histograms(where, histograms):
                 fail(hwhere, f"missing {field}")
         count = hist["count"]
         if isinstance(count, bool) or not isinstance(count, int) or count < 0:
-            fail(hwhere, f"count must be a non-negative integer, got {count!r}")
+            fail(hwhere,
+                 f"count must be a non-negative integer, got {count!r}")
         bounds = hist.get("le")
         cum = hist.get("cum")
         if not isinstance(bounds, list) or not isinstance(cum, list):
@@ -124,13 +130,16 @@ def check_histograms(where, histograms):
             if isinstance(value, bool) or not isinstance(value, int):
                 fail(cwhere, f"must be an integer, got {value!r}")
             if value < previous:
-                fail(cwhere, f"cumulative counts decreased ({previous} -> {value})")
+                fail(cwhere,
+                     f"cumulative counts decreased ({previous} -> {value})")
             previous = value
         if cum and cum[-1] != count:
             fail(hwhere, f"cum[-1] ({cum[-1]}) != count ({count})")
 
 
-def check_record(where, record, require_phases, require_counters):
+def check_record(where: str, record: object,
+                 require_phases: Sequence[str],
+                 require_counters: Sequence[str]) -> None:
     if not isinstance(record, dict):
         fail(where, "record is not a JSON object")
     version = record.get("schema_version")
@@ -142,6 +151,8 @@ def check_record(where, record, require_phases, require_counters):
     # Bench records nest the snapshot under "metrics"; standalone
     # snapshots keep the maps at top level.
     metrics = record.get("metrics", record)
+    if not isinstance(metrics, dict):
+        fail(where, "metrics is not an object")
     for key in METRIC_KEYS:
         if key not in metrics:
             fail(where, f"missing metrics key {key!r}")
@@ -149,28 +160,33 @@ def check_record(where, record, require_phases, require_counters):
     check_counters(where, metrics["counters"])
     check_gauges(where, metrics["gauges"])
     check_histograms(where, metrics["histograms"])
-    phase_names = list(metrics["phases"])
+    phases = metrics["phases"]
+    assert isinstance(phases, dict)  # narrowed by check_phases
+    phase_names = [str(name) for name in phases]
     for prefix in require_phases:
         if not any(name.startswith(prefix) for name in phase_names):
             fail(where, f"no phase matches required prefix {prefix!r} "
                         f"(have: {', '.join(sorted(phase_names))})")
-    counter_names = list(metrics["counters"])
+    counters = metrics["counters"]
+    assert isinstance(counters, dict)  # narrowed by check_counters
+    counter_names = [str(name) for name in counters]
     for prefix in require_counters:
         if not any(name.startswith(prefix) for name in counter_names):
             fail(where, f"no counter matches required prefix {prefix!r} "
                         f"(have: {', '.join(sorted(counter_names))})")
 
 
-def validate_file(path, require_phases, require_counters):
+def validate_file(path: str, require_phases: Sequence[str],
+                  require_counters: Sequence[str]) -> int:
     records = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
             if not line:
                 continue
             where = f"{path}:{lineno}"
             try:
-                record = json.loads(line)
+                record: object = json.loads(line)
             except json.JSONDecodeError as err:
                 fail(where, f"invalid JSON: {err}")
             check_record(where, record, require_phases, require_counters)
@@ -180,8 +196,9 @@ def validate_file(path, require_phases, require_counters):
     return records
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def main() -> int:
+    doc = __doc__ or ""
+    parser = argparse.ArgumentParser(description=doc.splitlines()[0])
     parser.add_argument("files", nargs="+", help="JSON-lines metrics files")
     parser.add_argument(
         "--require-phases", default="",
