@@ -1,5 +1,6 @@
 #include "dnn/layer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace corp::dnn {
@@ -26,6 +27,41 @@ const Vector& DenseLayer::forward(std::span<const double> input) {
     last_output_[i] = activate(activation_, last_output_[i] + bias_[i]);
   }
   return last_output_;
+}
+
+Matrix DenseLayer::forward_batch(const Matrix& batch) const {
+  if (batch.cols() != inputs()) {
+    throw std::invalid_argument(
+        "DenseLayer::forward_batch: input size mismatch");
+  }
+  Matrix out = weights_.multiply_batch(batch);
+  // Hoist the activation dispatch out of the element loop; the inlined
+  // branches evaluate the exact activate() expression, so results stay
+  // bit-identical to the scalar path (which dispatches per element).
+  switch (activation_) {
+    case Activation::kSigmoid:
+      for (std::size_t n = 0; n < out.rows(); ++n) {
+        for (std::size_t i = 0; i < out.cols(); ++i) {
+          out(n, i) = 1.0 / (1.0 + std::exp(-(out(n, i) + bias_[i])));
+        }
+      }
+      break;
+    case Activation::kIdentity:
+      for (std::size_t n = 0; n < out.rows(); ++n) {
+        for (std::size_t i = 0; i < out.cols(); ++i) {
+          out(n, i) += bias_[i];
+        }
+      }
+      break;
+    default:
+      for (std::size_t n = 0; n < out.rows(); ++n) {
+        for (std::size_t i = 0; i < out.cols(); ++i) {
+          out(n, i) = activate(activation_, out(n, i) + bias_[i]);
+        }
+      }
+      break;
+  }
+  return out;
 }
 
 Vector DenseLayer::backward(std::span<const double> output_grad) {

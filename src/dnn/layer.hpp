@@ -35,6 +35,11 @@ class DenseLayer {
   /// subsequent backward() call.
   const Vector& forward(std::span<const double> input);
 
+  /// Pure batched forward: activations for N samples (N x inputs) without
+  /// touching the cached training state, so concurrent calls are safe and
+  /// each output row is bit-identical to forward() on the same input row.
+  Matrix forward_batch(const Matrix& batch) const;
+
   /// Given dLoss/dOutput of this layer, accumulates weight/bias gradients
   /// and returns dLoss/dInput. Must follow a forward() on the same sample.
   Vector backward(std::span<const double> output_grad);

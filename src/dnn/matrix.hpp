@@ -47,6 +47,14 @@ class Matrix {
   /// y = A x  (x.size() == cols, result.size() == rows).
   Vector multiply(std::span<const double> x) const;
 
+  /// Y = X A^T for a batch X of N row-major inputs (N x cols), producing
+  /// N x rows outputs — one gemv per input row, blocked over the batch so a
+  /// weight row streamed from cache serves a whole tile of inputs. The
+  /// per-element accumulation order is identical to multiply() (ascending
+  /// column index within each output element), so multiply_batch(X).row(n)
+  /// is bit-identical to multiply(X.row(n)) for every n.
+  Matrix multiply_batch(const Matrix& inputs) const;
+
   /// y = A^T x (x.size() == rows, result.size() == cols). Used by
   /// back-propagation (Eq. 7) without materializing the transpose.
   Vector multiply_transposed(std::span<const double> x) const;

@@ -1,6 +1,9 @@
 #include "dnn/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace corp::dnn {
 
@@ -35,6 +38,52 @@ Vector Network::forward(std::span<const double> input) {
     current = layer.forward(current);
   }
   return current;
+}
+
+namespace {
+
+/// Serial layer sweep shared by the unsharded path and each shard.
+Matrix forward_batch_serial(const std::vector<DenseLayer>& layers,
+                            Matrix batch) {
+  for (const DenseLayer& layer : layers) {
+    batch = layer.forward_batch(batch);
+  }
+  return batch;
+}
+
+}  // namespace
+
+Matrix Network::forward_batch(const Matrix& batch,
+                              util::ThreadPool* pool) const {
+  if (batch.cols() != config_.input_size) {
+    throw std::invalid_argument("Network::forward_batch: input size mismatch");
+  }
+  const std::size_t rows = batch.rows();
+  if (pool == nullptr || pool->size() <= 1 ||
+      rows < kForwardBatchShardMinRows) {
+    return forward_batch_serial(layers_, batch);
+  }
+  // Deterministic sharding: chunk boundaries depend only on (rows, chunks),
+  // every row's arithmetic is independent of its neighbors, and each chunk
+  // writes a disjoint row range of the output.
+  Matrix out(rows, config_.output_size);
+  const std::size_t chunks = std::min(pool->size(), rows);
+  pool->parallel_for(chunks, [&](std::size_t k) {
+    const std::size_t begin = rows * k / chunks;
+    const std::size_t end = rows * (k + 1) / chunks;
+    if (begin == end) return;
+    Matrix chunk(end - begin, batch.cols());
+    for (std::size_t n = begin; n < end; ++n) {
+      const std::span<const double> src = batch.row(n);
+      std::copy(src.begin(), src.end(), chunk.row(n - begin).begin());
+    }
+    const Matrix result = forward_batch_serial(layers_, std::move(chunk));
+    for (std::size_t n = begin; n < end; ++n) {
+      const std::span<const double> src = result.row(n - begin);
+      std::copy(src.begin(), src.end(), out.row(n).begin());
+    }
+  });
+  return out;
 }
 
 void Network::backward(std::span<const double> output_grad) {

@@ -8,7 +8,16 @@
 #include "dnn/layer.hpp"
 #include "dnn/loss.hpp"
 
+namespace corp::util {
+class ThreadPool;
+}  // namespace corp::util
+
 namespace corp::dnn {
+
+/// Batches below this many rows always run serially: sharding tiny batches
+/// costs more in task dispatch than the GEMM saves, and the same constant
+/// lets callers avoid spinning up a pool they can never use.
+inline constexpr std::size_t kForwardBatchShardMinRows = 64;
 
 struct NetworkConfig {
   std::size_t input_size = 12;            // Delta history slots
@@ -37,6 +46,16 @@ class Network {
   /// Inference without keeping gradient state correct for training (same
   /// computation; named for call-site clarity).
   Vector predict(std::span<const double> input) { return forward(input); }
+
+  /// Pure batched inference over N samples (N x input_size -> N x
+  /// output_size). Each output row is bit-identical to predict() on the
+  /// corresponding input row. When a pool is supplied and the batch has at
+  /// least kForwardBatchShardMinRows rows, contiguous row chunks are
+  /// evaluated concurrently; chunk boundaries depend only on (rows, pool
+  /// size) and every row's arithmetic is independent, so the sharded result
+  /// is bit-identical to the serial one.
+  Matrix forward_batch(const Matrix& batch,
+                       util::ThreadPool* pool = nullptr) const;
 
   /// Runs backward over all layers given dLoss/dPrediction, accumulating
   /// gradients. Must follow a forward() on the same sample.

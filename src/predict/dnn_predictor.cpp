@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace corp::predict {
@@ -60,16 +61,60 @@ void DnnPredictor::train(const SeriesCorpus& corpus) {
   trained_ = true;
 }
 
-double DnnPredictor::predict(std::span<const double> history,
-                             std::size_t /*horizon*/) {
+double DnnPredictor::predict(const PredictionQuery& query) {
   if (!trained_) throw std::logic_error("DnnPredictor::predict before train");
-  if (history.empty()) return normalizer_.inverse(0.5);
+  if (query.history.empty()) return normalizer_.inverse(0.5);
 
+  std::vector<double> window(config_.history_slots);
+  fill_window(query.history, window);
+  const dnn::Vector out = network_->predict(window);
+  return normalizer_.inverse(window_anchor(window) + out.front());
+}
+
+BatchResult DnnPredictor::predict_batch(const BatchRequest& request) {
+  if (!trained_) throw std::logic_error("DnnPredictor::predict before train");
+  const std::size_t n = request.queries.size();
+  BatchResult result;
+  result.values.assign(n, 0.0);
+
+  if (obs::registry().enabled()) {
+    obs::registry().counter("predict.batch.calls").add(1);
+    obs::registry().counter("predict.batch.rows").add(n);
+  }
+
+  // Empty histories resolve to the scalar path's constant without entering
+  // the network; the remaining queries become GEMM rows in query order.
+  std::vector<std::size_t> gemm_rows;
+  gemm_rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (request.queries[i].history.empty()) {
+      result.values[i] = normalizer_.inverse(0.5);
+    } else {
+      gemm_rows.push_back(i);
+    }
+  }
+  if (gemm_rows.empty()) return result;
+
+  dnn::Matrix inputs(gemm_rows.size(), config_.history_slots);
+  std::vector<double> anchors(gemm_rows.size());
+  for (std::size_t k = 0; k < gemm_rows.size(); ++k) {
+    const std::span<double> window = inputs.row(k);
+    fill_window(request.queries[gemm_rows[k]].history, window);
+    anchors[k] = window_anchor(window);
+  }
+  const dnn::Matrix out = network_->forward_batch(inputs, request.pool);
+  for (std::size_t k = 0; k < gemm_rows.size(); ++k) {
+    result.values[gemm_rows[k]] = normalizer_.inverse(anchors[k] + out(k, 0));
+  }
+  return result;
+}
+
+void DnnPredictor::fill_window(std::span<const double> history,
+                               std::span<double> window) const {
   // Short histories are left-padded by *tiling* the available samples:
   // a run of constant padding is far outside the training distribution
   // (real windows always fluctuate) and provokes erratic outputs, while
   // a tiled window is locally realistic.
-  std::vector<double> window(config_.history_slots);
   const std::size_t have = std::min(history.size(), config_.history_slots);
   const std::size_t pad = config_.history_slots - have;
   const std::size_t base = history.size() - have;
@@ -80,8 +125,6 @@ double DnnPredictor::predict(std::span<const double> history,
     window[pad + i] = history[base + i];
   }
   for (double& x : window) x = normalizer_.transform(x);
-  const dnn::Vector out = network_->predict(window);
-  return normalizer_.inverse(window_anchor(window) + out.front());
 }
 
 double DnnPredictor::window_anchor(std::span<const double> window) const {

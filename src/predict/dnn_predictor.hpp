@@ -34,8 +34,14 @@ class DnnPredictor final : public SeriesPredictor {
   DnnPredictor(const DnnPredictorConfig& config, util::Rng& rng);
 
   void train(const SeriesCorpus& corpus) override;
-  double predict(std::span<const double> history,
-                 std::size_t horizon) override;
+  double predict(const PredictionQuery& query) override;
+
+  /// GEMM path: packs every non-empty history into one N x Delta input
+  /// matrix, runs a single blocked forward pass (sharded over
+  /// request.pool when provided), and un-normalizes per row. Each value is
+  /// bit-identical to predict() on the same query.
+  BatchResult predict_batch(const BatchRequest& request) override;
+
   std::string_view name() const override { return "dnn"; }
 
   bool trained() const { return trained_; }
@@ -46,6 +52,11 @@ class DnnPredictor final : public SeriesPredictor {
   /// Mean of the trailing horizon-length span of a normalized input
   /// window — the level anchor the network's residual output adds to.
   double window_anchor(std::span<const double> window) const;
+
+  /// Tiles + normalizes a history into a Delta-slot window (the scalar
+  /// path and every batch row go through this same routine).
+  void fill_window(std::span<const double> history, std::span<double> window)
+      const;
 
   DnnPredictorConfig config_;
   util::Rng rng_;

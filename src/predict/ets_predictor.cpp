@@ -44,8 +44,9 @@ void EtsPredictor::train(const SeriesCorpus& corpus) {
   }
 }
 
-double EtsPredictor::predict(std::span<const double> history,
-                             std::size_t horizon) {
+double EtsPredictor::predict(const PredictionQuery& query) {
+  const std::span<const double> history = query.history;
+  const std::size_t horizon = query.horizon;
   if (history.empty()) return 0.0;
   if (history.size() == 1) return history[0];
   double level = history[0];

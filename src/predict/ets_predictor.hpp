@@ -25,8 +25,7 @@ class EtsPredictor final : public SeriesPredictor {
   explicit EtsPredictor(EtsPredictorConfig config = {});
 
   void train(const SeriesCorpus& corpus) override;
-  double predict(std::span<const double> history,
-                 std::size_t horizon) override;
+  double predict(const PredictionQuery& query) override;
   std::string_view name() const override { return "ets"; }
 
   double alpha() const { return alpha_; }

@@ -104,8 +104,9 @@ void MarkovChainPredictor::train(const SeriesCorpus& corpus) {
   trained_ = true;
 }
 
-double MarkovChainPredictor::predict(std::span<const double> history,
-                                     std::size_t horizon) {
+double MarkovChainPredictor::predict(const PredictionQuery& query) {
+  const std::span<const double> history = query.history;
+  const std::size_t horizon = query.horizon;
   if (!trained_) {
     throw std::logic_error("MarkovChainPredictor::predict before train");
   }

@@ -33,8 +33,7 @@ class MarkovChainPredictor final : public SeriesPredictor {
   explicit MarkovChainPredictor(MarkovPredictorConfig config = {});
 
   void train(const SeriesCorpus& corpus) override;
-  double predict(std::span<const double> history,
-                 std::size_t horizon) override;
+  double predict(const PredictionQuery& query) override;
   std::string_view name() const override { return "press-markov"; }
 
   /// Detected signature period (0 = none found, Markov fallback in use).

@@ -19,8 +19,8 @@ void SlidingMeanPredictor::train(const SeriesCorpus& corpus) {
   corpus_mean_ = n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
-double SlidingMeanPredictor::predict(std::span<const double> history,
-                                     std::size_t /*horizon*/) {
+double SlidingMeanPredictor::predict(const PredictionQuery& query) {
+  const std::span<const double> history = query.history;  // horizon unused
   if (history.empty()) return corpus_mean_;
   const std::size_t take = config_.window == 0
                                ? history.size()

@@ -21,8 +21,7 @@ class SlidingMeanPredictor final : public SeriesPredictor {
   /// Stateless in the corpus: train() only records a fallback mean used
   /// when predict() is handed an empty history.
   void train(const SeriesCorpus& corpus) override;
-  double predict(std::span<const double> history,
-                 std::size_t horizon) override;
+  double predict(const PredictionQuery& query) override;
   std::string_view name() const override { return "sliding-mean"; }
 
  private:

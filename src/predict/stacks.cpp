@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "predict/stack_builder.hpp"
 #include "util/stats.hpp"
 
 namespace corp::predict {
@@ -67,6 +69,20 @@ void seed_tracker(PredictionStack& stack, const SeriesCorpus& corpus,
 
 }  // namespace
 
+BatchResult PredictionStack::predict_batch(const BatchRequest& request) {
+  if (obs::registry().enabled()) {
+    obs::registry()
+        .counter("predict.batch.stack_scalar_rows")
+        .add(request.queries.size());
+  }
+  BatchResult result;
+  result.values.reserve(request.queries.size());
+  for (const PredictionQuery& query : request.queries) {
+    result.values.push_back(predict(query.history));
+  }
+  return result;
+}
+
 // ---------------------------------------------------------------- CORP --
 
 CorpStack::CorpStack(const Options& options, util::Rng& rng)
@@ -84,7 +100,9 @@ void CorpStack::train(const SeriesCorpus& corpus) {
 }
 
 double CorpStack::predict(std::span<const double> history) {
-  double y = dnn_.predict(history, options_.stack.horizon_slots);
+  double y = dnn_.predict(PredictionQuery{
+      .entity = 0, .horizon = options_.stack.horizon_slots,
+      .history = history});
   if (options_.enable_hmm_correction) {
     y = corrector_.correct(y, history);
   }
@@ -93,6 +111,25 @@ double CorpStack::predict(std::span<const double> history) {
                                options_.stack.confidence_level);
   }
   return std::max(0.0, y);
+}
+
+BatchResult CorpStack::predict_batch(const BatchRequest& request) {
+  // One GEMM across all rows (the DNN ignores per-query horizons; this
+  // stack's horizon is baked into its training targets), then the pure
+  // per-row correction pipeline in query order.
+  BatchResult result = dnn_.predict_batch(request);
+  const double sigma = tracker_.stddev();
+  for (std::size_t i = 0; i < request.queries.size(); ++i) {
+    double y = result.values[i];
+    if (options_.enable_hmm_correction) {
+      y = corrector_.correct(y, request.queries[i].history);
+    }
+    if (options_.enable_confidence_bound) {
+      y = confidence_lower_bound(y, sigma, options_.stack.confidence_level);
+    }
+    result.values[i] = std::max(0.0, y);
+  }
+  return result;
 }
 
 void CorpStack::record_outcome(double actual, double predicted) {
@@ -156,7 +193,8 @@ void RccrStack::train(const SeriesCorpus& corpus) {
 double RccrStack::predict(std::span<const double> history) {
   const std::vector<double> means =
       to_window_means(history, options_.stack.horizon_slots);
-  double y = ets_.predict(means, 1);
+  double y = ets_.predict(
+      PredictionQuery{.entity = 0, .horizon = 1, .history = means});
   y = confidence_lower_bound(y, tracker_.stddev(),
                              options_.stack.confidence_level);
   return std::max(0.0, y);
@@ -207,7 +245,9 @@ double CloudScaleStack::padding(std::span<const double> history) const {
 }
 
 double CloudScaleStack::predict(std::span<const double> history) {
-  const double y = markov_.predict(history, options_.stack.horizon_slots);
+  const double y = markov_.predict(PredictionQuery{
+      .entity = 0, .horizon = options_.stack.horizon_slots,
+      .history = history});
   return std::max(0.0, y - padding(history));
 }
 
@@ -234,8 +274,10 @@ DraStack::DraStack(const Options& options)
 void DraStack::train(const SeriesCorpus& corpus) { mean_.train(corpus); }
 
 double DraStack::predict(std::span<const double> history) {
-  return std::max(0.0,
-                  mean_.predict(history, options_.stack.horizon_slots));
+  return std::max(0.0, mean_.predict(PredictionQuery{
+                           .entity = 0,
+                           .horizon = options_.stack.horizon_slots,
+                           .history = history}));
 }
 
 void DraStack::record_outcome(double actual, double predicted) {
@@ -249,43 +291,11 @@ std::unique_ptr<PredictionStack> make_stack(Method method,
                                             util::Rng& rng,
                                             bool enable_hmm_correction,
                                             bool enable_confidence_bound) {
-  switch (method) {
-    case Method::kCorp: {
-      CorpStack::Options options;
-      options.stack = config;
-      options.dnn.horizon_slots = config.horizon_slots;
-      options.dnn.trainer.max_epochs = 40;
-      options.dnn.trainer.patience = 5;
-      options.dnn.trainer.min_delta = 1e-7;
-      options.dnn.trainer.pretrain_epochs = 2;
-      options.hmm.window_slots = config.horizon_slots;
-      options.enable_hmm_correction = enable_hmm_correction;
-      options.enable_confidence_bound = enable_confidence_bound;
-      return std::make_unique<CorpStack>(options, rng);
-    }
-    case Method::kRccr: {
-      RccrStack::Options options;
-      options.stack = config;
-      // Holt's linear ETS: the trend component is what the RCCR paper's
-      // forecaster carries, and on pattern-free bursty series it is also
-      // what extrapolates burst edges into the future wrongly — the
-      // failure mode Sec. IV attributes to time-series forecasting.
-      options.ets.allow_no_trend = false;
-      options.ets.trend_damping = 0.95;
-      return std::make_unique<RccrStack>(options);
-    }
-    case Method::kCloudScale: {
-      CloudScaleStack::Options options;
-      options.stack = config;
-      return std::make_unique<CloudScaleStack>(options);
-    }
-    case Method::kDra: {
-      DraStack::Options options;
-      options.stack = config;
-      return std::make_unique<DraStack>(options);
-    }
-  }
-  throw std::invalid_argument("make_stack: unknown method");
+  return StackBuilder(method)
+      .config(config)
+      .hmm_correction(enable_hmm_correction)
+      .confidence_bound(enable_confidence_bound)
+      .build(rng);
 }
 
 }  // namespace corp::predict

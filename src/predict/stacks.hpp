@@ -53,6 +53,14 @@ class PredictionStack {
   /// t + L, clamped non-negative.
   virtual double predict(std::span<const double> history) = 0;
 
+  /// Batched forecasts, one per query (horizon fields are ignored — a
+  /// stack's horizon is fixed at construction). Bit-identical to calling
+  /// predict() on each query's history in order; the default adapter does
+  /// exactly that. Stacks must not mutate error-tracker state here, so a
+  /// batch sees one frozen tracker snapshot just as a scalar sweep
+  /// between record_outcome() calls would.
+  virtual BatchResult predict_batch(const BatchRequest& request);
+
   /// Feeds back the actual value for a previous prediction (Eq. 20).
   virtual void record_outcome(double actual, double predicted) = 0;
 
@@ -82,6 +90,13 @@ class CorpStack final : public PredictionStack {
 
   void train(const SeriesCorpus& corpus) override;
   double predict(std::span<const double> history) override;
+
+  /// Runs the DNN once over all rows (one GEMM), then applies the HMM
+  /// correction and confidence bound per row. Bit-identical to the scalar
+  /// loop because both correction stages are pure and the tracker's
+  /// stddev is constant between record_outcome() calls.
+  BatchResult predict_batch(const BatchRequest& request) override;
+
   void record_outcome(double actual, double predicted) override;
   bool unlocked() const override;
   double gate_probability() const override;
@@ -187,7 +202,9 @@ class DraStack final : public PredictionStack {
 };
 
 /// Builds the stack matching a Method with paper-default options. The two
-/// flags are CORP-only ablation switches (ignored by the baselines).
+/// flags are CORP-only ablation switches (ignored by the baselines). Thin
+/// wrapper over StackBuilder (see predict/stack_builder.hpp), kept for
+/// positional-call ergonomics in tests.
 std::unique_ptr<PredictionStack> make_stack(Method method,
                                             const StackConfig& config,
                                             util::Rng& rng,

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "predict/stack_builder.hpp"
 
 namespace corp::predict {
 
@@ -61,8 +65,11 @@ VectorPredictor::VectorPredictor(Method method, const StackConfig& config,
                                  const HealthConfig& health)
     : method_(method), monitor_(health) {
   for (std::size_t r = 0; r < kNumResources; ++r) {
-    stacks_[r] = make_stack(method, config, rng, enable_hmm_correction,
-                            enable_confidence_bound);
+    stacks_[r] = StackBuilder(method)
+                     .config(config)
+                     .hmm_correction(enable_hmm_correction)
+                     .confidence_bound(enable_confidence_bound)
+                     .build(rng);
   }
   // The fallback rung is the conservative ETS lower-bound stack. When the
   // primary already is that stack (RCCR) the ladder skips straight to
@@ -70,7 +77,7 @@ VectorPredictor::VectorPredictor(Method method, const StackConfig& config,
   // stack is deterministic), so fault-free streams are unchanged.
   if (method != Method::kRccr) {
     for (std::size_t r = 0; r < kNumResources; ++r) {
-      fallback_[r] = make_stack(Method::kRccr, config, rng);
+      fallback_[r] = StackBuilder(Method::kRccr).config(config).build(rng);
     }
   }
 }
@@ -119,6 +126,84 @@ ResourceVector VectorPredictor::predict(
       case DegradationTier::kReservedOnly:
         out[r] = 0.0;
         break;
+    }
+  }
+  return out;
+}
+
+std::vector<ResourceVector> VectorPredictor::predict_batch(
+    const VectorBatchRequest& request) {
+  const std::size_t n = request.histories.size();
+  if (!request.faults.empty() && request.faults.size() != n) {
+    throw std::invalid_argument(
+        "VectorPredictor::predict_batch: faults/histories size mismatch");
+  }
+  if (obs::registry().enabled()) {
+    obs::registry().counter("predict.batch.vector_calls").add(1);
+    obs::registry().counter("predict.batch.vector_rows").add(n);
+  }
+
+  // Phase A — pure inference: one batched stack call per resource type
+  // over every row. Imputed buffers are owned here (the spans handed to
+  // the stacks must outlive the call); moving the outer vector's elements
+  // never relocates their heap data, so the views stay valid.
+  std::vector<std::vector<double>> imputed_store;
+  std::array<std::vector<std::span<const double>>, kNumResources> views;
+  std::array<std::vector<double>, kNumResources> raw;
+  BatchRequest batch;
+  batch.pool = request.pool;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    views[r].resize(n);
+    batch.queries.clear();
+    batch.queries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double>& series = (*request.histories[i])[r];
+      std::vector<double> imputed;
+      if (impute_gaps(series, imputed)) {
+        imputed_store.push_back(std::move(imputed));
+        views[r][i] = imputed_store.back();
+      } else {
+        views[r][i] = series;
+      }
+      batch.queries.push_back(PredictionQuery{
+          .entity = i, .horizon = 0, .history = views[r][i]});
+    }
+    raw[r] = stacks_[r]->predict_batch(batch).values;
+  }
+
+  // Phase B — stateful dispatch, serially in the scalar path's order
+  // (job-major, resource-minor) so health-monitor transitions mid-batch
+  // land on exactly the rows they would in a sequential sweep.
+  std::vector<ResourceVector> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      double value = raw[r][i];
+      const InjectedFault fault =
+          request.faults.empty() ? InjectedFault::kNone : request.faults[i][r];
+      switch (fault) {
+        case InjectedFault::kNone:
+          break;
+        case InjectedFault::kNan:
+          value = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case InjectedFault::kExplode:
+          value = (std::isfinite(value) ? std::abs(value) + 1.0 : 1.0) * 1e9;
+          break;
+      }
+      const bool ok = monitor_.observe(value);
+      switch (monitor_.tier()) {
+        case DegradationTier::kPrimary:
+          out[i][r] = ok ? value
+                         : (fallback_[r] ? fallback_[r]->predict(views[r][i])
+                                         : 0.0);
+          break;
+        case DegradationTier::kFallback:
+          out[i][r] = fallback_[r] ? fallback_[r]->predict(views[r][i]) : 0.0;
+          break;
+        case DegradationTier::kReservedOnly:
+          out[i][r] = 0.0;
+          break;
+      }
     }
   }
   return out;

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "predict/health_monitor.hpp"
 #include "predict/stacks.hpp"
@@ -45,6 +46,19 @@ using InjectedFaultVector = std::array<InjectedFault, kNumResources>;
 bool impute_gaps(const std::vector<double>& series,
                  std::vector<double>& imputed);
 
+/// One predict() call's worth of input for every job in a window,
+/// submitted together so each resource type's stack runs one batched
+/// (GEMM for CORP) inference over all jobs. History pointers are
+/// non-owning and must stay valid for the duration of the call.
+struct VectorBatchRequest {
+  std::vector<const std::array<std::vector<double>, kNumResources>*>
+      histories;
+  /// Per-job fault directives; empty means no poisoning, otherwise must
+  /// have one entry per history.
+  std::vector<InjectedFaultVector> faults;
+  util::ThreadPool* pool = nullptr;
+};
+
 class VectorPredictor {
  public:
   VectorPredictor(Method method, const StackConfig& config, util::Rng& rng,
@@ -63,6 +77,15 @@ class VectorPredictor {
   ResourceVector predict(
       const std::array<std::vector<double>, kNumResources>& history,
       const InjectedFaultVector& faults = {});
+
+  /// Batched predict(): one forecast vector per request row, bit-identical
+  /// to calling predict() on each (history, faults) pair in order. Phase A
+  /// runs each resource type's stack once over all rows (the stacks are
+  /// pure during prediction); phase B replays fault injection, health
+  /// observation, and tier dispatch serially in the scalar path's
+  /// job-major/resource-minor order, so mid-batch demotions affect later
+  /// rows exactly as sequential calls would.
+  std::vector<ResourceVector> predict_batch(const VectorBatchRequest& request);
 
   /// Records actual-vs-predicted per type (Eq. 20 feedback). Feeds the
   /// active tier's trackers (fallback included, so it is warm on demotion).

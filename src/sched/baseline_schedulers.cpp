@@ -132,7 +132,8 @@ ResourceVector CloudScaleScheduler::reprovision(
       // faults CloudScale for ("the correlation between the resource
       // prediction model and the actual resource demand becomes
       // weaker"). After a valley it under-provisions into the rebound.
-      forecast = forecasters_[r].predict(fractions, 1);
+      forecast = forecasters_[r].predict(predict::PredictionQuery{
+          .entity = job.id, .horizon = 1, .history = fractions});
       const auto [lo, hi] =
           std::minmax_element(fractions.begin(), fractions.end());
       burst = (*hi - *lo) * config_.burst_padding_fraction;

@@ -4,13 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
-#include <cstdlib>
-#include <iostream>
 
-#include <limits>
-
+#include "dnn/network.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sched/baseline_schedulers.hpp"
@@ -364,23 +362,6 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
         }
       }
 
-      if (std::getenv("CORP_DEBUG_VIEWS") && t % 10 == 0) {
-        double tot_pred = 0, max_pred_cpu = 0; int unlocked_vms = 0;
-        for (auto& v : views) {
-          tot_pred += v.predicted_unused.total();
-          max_pred_cpu = std::max(max_pred_cpu, v.predicted_unused.cpu());
-          if (v.unlocked) ++unlocked_vms;
-        }
-        std::cerr << "t=" << t << " queue=" << batch.size()
-                  << " running=" << running.size()
-                  << " unlockedVMs=" << unlocked_vms
-                  << " maxPredCpu=" << max_pred_cpu
-                  << " globalUnlocked=" << (opportunistic_method ? predictor_->unlocked() : false)
-                  << " gateP=[" << predictor_->stack(0).gate_probability()
-                  << "," << predictor_->stack(1).gate_probability()
-                  << "," << predictor_->stack(2).gate_probability() << "]"
-                  << " req0cpu=" << batch[0]->request.cpu() << "\n";
-      }
       sched::SchedulerContext ctx;
       ctx.vms = views;
       ctx.max_vm_capacity = max_vm_capacity;
@@ -598,11 +579,15 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
     if (!running.empty()) {
       const auto start = Clock::now();
       if (opportunistic_method) {
+        // Pass 1 — resolve matured Eq. 20 outcomes for every reserved
+        // tenant before any forecast is made, so the whole window's batch
+        // sees one consistent error-tracker state.
+        //
+        // Only reserved tenants donate unused resource, and only their
+        // series match the training distribution (a squeezed opportunistic
+        // tenant's allocation-minus-received is an artifact of contention,
+        // not reusable capacity).
         for (RunningJob& rj : running) {
-          // Only reserved tenants donate unused resource, and only their
-          // series match the training distribution (a squeezed
-          // opportunistic tenant's allocation-minus-received is an
-          // artifact of contention, not reusable capacity).
           if (rj.kind != sched::AllocationKind::kReserved) continue;
           if (rj.pending_prediction.has_value() &&
               rj.slots_since_prediction >= L) {
@@ -613,15 +598,44 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
             predictor_->record_outcome(actual, *rj.pending_prediction);
             rj.pending_prediction.reset();
           }
-          predict::InjectedFaultVector injected{};
-          if (faults_on) {
+        }
+
+        // Pass 2 — deterministic gather in roster order (the roster's
+        // order is itself seed-deterministic), then ONE batched predictor
+        // call for the whole window instead of per-job scalar calls.
+        std::vector<RunningJob*> reserved;
+        reserved.reserve(running.size());
+        predict::VectorBatchRequest request;
+        for (RunningJob& rj : running) {
+          if (rj.kind != sched::AllocationKind::kReserved) continue;
+          reserved.push_back(&rj);
+          request.histories.push_back(&rj.unused_history);
+        }
+        if (faults_on) {
+          request.faults.reserve(reserved.size());
+          for (const RunningJob* rj : reserved) {
+            predict::InjectedFaultVector injected{};
             for (std::size_t r = 0; r < kNumResources; ++r) {
               injected[r] = static_cast<predict::InjectedFault>(
-                  injector.predictor_fault(rj.job->id, t, r));
+                  injector.predictor_fault(rj->job->id, t, r));
             }
+            request.faults.push_back(injected);
           }
-          const ResourceVector fraction =
-              predictor_->predict(rj.unused_history, injected);
+        }
+        if (predict_pool_ == nullptr && params.threads != 1 &&
+            reserved.size() >= dnn::kForwardBatchShardMinRows) {
+          predict_pool_ =
+              std::make_unique<util::ThreadPool>(params.threads);
+        }
+        request.pool = predict_pool_.get();
+        const std::vector<ResourceVector> fractions =
+            predictor_->predict_batch(request);
+
+        // Pass 3 — scatter forecasts back into the per-(job, window)
+        // caches and pledge bookkeeping, in the same roster order.
+        for (std::size_t i = 0; i < reserved.size(); ++i) {
+          RunningJob& rj = *reserved[i];
+          const ResourceVector& fraction = fractions[i];
           for (std::size_t r = 0; r < kNumResources; ++r) {
             rj.cached_prediction[r] =
                 std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];

@@ -40,6 +40,7 @@
 #include "sim/params.hpp"
 #include "sim/timeline.hpp"
 #include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace corp::sim {
 
@@ -156,6 +157,10 @@ class Simulation {
   SimulationConfig config_;
   std::unique_ptr<predict::VectorPredictor> predictor_;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Lazily created worker pool sharding batched-prediction rows (behind
+  /// Params::threads); never built for runs whose windows stay below the
+  /// dnn sharding threshold, so small simulations spawn no threads.
+  std::unique_ptr<util::ThreadPool> predict_pool_;
   bool trained_ = false;
 };
 

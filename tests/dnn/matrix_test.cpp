@@ -131,6 +131,37 @@ TEST(MatrixTest, MultiplyAccumulatesInDoublePrecision) {
   EXPECT_DOUBLE_EQ(y[0] - 1.0, tiny);
 }
 
+TEST(MatrixTest, MultiplyBatchMatchesMultiplyBitExact) {
+  // The GEMM path tiles over batch rows but must keep the scalar path's
+  // per-element accumulation order, so every output is bit-identical to
+  // multiply() on the same row. Sizes straddle the internal tile width.
+  util::Rng rng(11);
+  const Matrix weights = Matrix::xavier(7, 5, rng);
+  for (std::size_t batch : {1u, 31u, 32u, 33u, 64u, 65u}) {
+    Matrix inputs(batch, 5);
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        inputs(n, c) = rng.uniform(-2.0, 2.0);
+      }
+    }
+    const Matrix out = weights.multiply_batch(inputs);
+    ASSERT_EQ(out.rows(), batch);
+    ASSERT_EQ(out.cols(), 7u);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const Vector y = weights.multiply(inputs.row(n));
+      for (std::size_t r = 0; r < 7; ++r) {
+        EXPECT_EQ(out(n, r), y[r]) << "batch " << batch << " row " << n;
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyBatchDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  Matrix narrow(4, 2);
+  EXPECT_THROW(m.multiply_batch(narrow), std::invalid_argument);
+}
+
 TEST(VectorOpsTest, DotKeepsDoublePrecision) {
   // Same canary for the shared dot() kernel used by the DNN layers.
   const double tiny = std::ldexp(1.0, -40);

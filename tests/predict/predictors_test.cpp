@@ -42,6 +42,16 @@ SeriesCorpus noisy_corpus(std::size_t series_count, std::size_t length,
   return corpus;
 }
 
+
+/// Query-form shorthand: every scalar call in these tests goes through the
+/// PredictionQuery entry point (the deprecated span/horizon shim has no
+/// in-tree users).
+double predict_at(SeriesPredictor& predictor, std::span<const double> history,
+                  std::size_t horizon) {
+  return predictor.predict(
+      PredictionQuery{.entity = 0, .horizon = horizon, .history = history});
+}
+
 // ------------------------------------------------------------------ DNN --
 
 TEST(DnnPredictorTest, RejectsBadConfig) {
@@ -54,7 +64,7 @@ TEST(DnnPredictorTest, RejectsBadConfig) {
 TEST(DnnPredictorTest, PredictBeforeTrainThrows) {
   util::Rng rng(1);
   DnnPredictor dnn({}, rng);
-  EXPECT_THROW(dnn.predict(std::vector<double>{1.0}, 6), std::logic_error);
+  EXPECT_THROW(predict_at(dnn, std::vector<double>{1.0}, 6), std::logic_error);
 }
 
 TEST(DnnPredictorTest, EmptyCorpusThrows) {
@@ -90,7 +100,7 @@ TEST(DnnPredictorTest, LearnsSmoothSeries) {
   int n = 0;
   for (std::size_t end = 8; end + 2 <= test.size(); ++end) {
     const std::span<const double> history(test.data(), end);
-    const double pred = dnn.predict(history, 2);
+    const double pred = predict_at(dnn, history, 2);
     const double actual = 0.5 * (test[end] + test[end + 1]);
     se += (pred - actual) * (pred - actual);
     ++n;
@@ -108,7 +118,7 @@ TEST(DnnPredictorTest, HandlesShortHistories) {
   // in-range predictions (tiled padding).
   for (std::size_t len : {1u, 2u, 5u, 11u}) {
     std::vector<double> history(len, 0.6);
-    const double pred = dnn.predict(history, 6);
+    const double pred = predict_at(dnn, history, 6);
     EXPECT_TRUE(std::isfinite(pred));
     EXPECT_GT(pred, -0.5);
     EXPECT_LT(pred, 1.5);
@@ -125,7 +135,7 @@ TEST(DnnPredictorTest, AdaptsToLevelShift) {
   DnnPredictor dnn(config, rng);
   dnn.train(noisy_corpus(3, 200, 42));  // trained around level 0.5
   std::vector<double> high_level(30, 0.8);
-  const double pred = dnn.predict(high_level, 2);
+  const double pred = predict_at(dnn, high_level, 2);
   EXPECT_NEAR(pred, 0.8, 0.15);
 }
 
@@ -135,7 +145,7 @@ TEST(EtsPredictorTest, ConstantSeriesForecastsConstant) {
   EtsPredictor ets;
   ets.train({{5.0, 5.0, 5.0, 5.0, 5.0, 5.0}});
   const std::vector<double> history(20, 5.0);
-  EXPECT_NEAR(ets.predict(history, 3), 5.0, 1e-9);
+  EXPECT_NEAR(predict_at(ets, history, 3), 5.0, 1e-9);
 }
 
 TEST(EtsPredictorTest, TracksLevelChanges) {
@@ -144,14 +154,14 @@ TEST(EtsPredictorTest, TracksLevelChanges) {
   std::vector<double> history(30, 0.2);
   for (int i = 0; i < 30; ++i) history.push_back(0.8);
   // After a long stretch at 0.8 the forecast should be near 0.8.
-  EXPECT_NEAR(ets.predict(history, 1), 0.8, 0.15);
+  EXPECT_NEAR(predict_at(ets, history, 1), 0.8, 0.15);
 }
 
 TEST(EtsPredictorTest, ShortHistories) {
   EtsPredictor ets;
   ets.train({{1.0, 2.0, 1.5, 1.8, 1.2, 1.6}});
-  EXPECT_DOUBLE_EQ(ets.predict({}, 3), 0.0);
-  EXPECT_DOUBLE_EQ(ets.predict(std::vector<double>{4.2}, 3), 4.2);
+  EXPECT_DOUBLE_EQ(predict_at(ets, {}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(predict_at(ets, std::vector<double>{4.2}, 3), 4.2);
 }
 
 TEST(EtsPredictorTest, GridSearchPicksBounds) {
@@ -169,7 +179,7 @@ TEST(EtsPredictorTest, DampedTrendBounded) {
   ets.train({{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}});
   std::vector<double> rising;
   for (int i = 0; i < 20; ++i) rising.push_back(0.05 * i);
-  const double forecast = ets.predict(rising, 50);
+  const double forecast = predict_at(ets, rising, 50);
   EXPECT_LT(forecast, 3.0);
 }
 
@@ -183,7 +193,7 @@ TEST(MarkovPredictorTest, RejectsBadConfig) {
 
 TEST(MarkovPredictorTest, PredictBeforeTrainThrows) {
   MarkovChainPredictor markov;
-  EXPECT_THROW(markov.predict(std::vector<double>{1.0}, 1),
+  EXPECT_THROW(predict_at(markov, std::vector<double>{1.0}, 1),
                std::logic_error);
 }
 
@@ -215,7 +225,7 @@ TEST(MarkovPredictorTest, DetectsPeriodicSignature) {
   markov.train({periodic});
   EXPECT_EQ(markov.signature_period(), 12u);
   // Signature replay: forecast ~ the value one period back.
-  const double pred = markov.predict(periodic, 12);
+  const double pred = predict_at(markov, periodic, 12);
   EXPECT_NEAR(pred, periodic.back(), 0.1);
 }
 
@@ -229,8 +239,8 @@ TEST(MarkovPredictorTest, MultiStepRegressesTowardMean) {
   MarkovChainPredictor markov;
   markov.train(noisy_corpus(3, 300, 23));
   std::vector<double> low_history(10, 0.1);
-  const double near = markov.predict(low_history, 1);
-  const double far = markov.predict(low_history, 50);
+  const double near = predict_at(markov, low_history, 1);
+  const double far = predict_at(markov, low_history, 50);
   // Far forecasts converge toward the stationary mean (~0.5), closer
   // forecasts stay near the recent level — the weakening correlation the
   // paper describes.
@@ -241,7 +251,7 @@ TEST(MarkovPredictorTest, MultiStepRegressesTowardMean) {
 TEST(MarkovPredictorTest, EmptyHistoryUsesMiddleBin) {
   MarkovChainPredictor markov;
   markov.train({{0.0, 1.0, 0.5, 0.2, 0.8}});
-  const double pred = markov.predict({}, 3);
+  const double pred = predict_at(markov, {}, 3);
   EXPECT_GT(pred, 0.0);
   EXPECT_LT(pred, 1.0);
 }
@@ -254,7 +264,7 @@ TEST(MeanPredictorTest, WindowedMean) {
   SlidingMeanPredictor mean(config);
   mean.train({{1.0}});
   const std::vector<double> history{10.0, 1.0, 3.0};
-  EXPECT_DOUBLE_EQ(mean.predict(history, 6), 2.0);
+  EXPECT_DOUBLE_EQ(predict_at(mean, history, 6), 2.0);
 }
 
 TEST(MeanPredictorTest, WholeHistoryWhenWindowZero) {
@@ -263,19 +273,19 @@ TEST(MeanPredictorTest, WholeHistoryWhenWindowZero) {
   SlidingMeanPredictor mean(config);
   mean.train({{1.0}});
   const std::vector<double> history{1.0, 2.0, 3.0};
-  EXPECT_DOUBLE_EQ(mean.predict(history, 6), 2.0);
+  EXPECT_DOUBLE_EQ(predict_at(mean, history, 6), 2.0);
 }
 
 TEST(MeanPredictorTest, EmptyHistoryFallsBackToCorpusMean) {
   SlidingMeanPredictor mean;
   mean.train({{2.0, 4.0}, {6.0}});
-  EXPECT_DOUBLE_EQ(mean.predict({}, 6), 4.0);
+  EXPECT_DOUBLE_EQ(predict_at(mean, {}, 6), 4.0);
 }
 
 TEST(MeanPredictorTest, EmptyCorpusGivesZeroFallback) {
   SlidingMeanPredictor mean;
   mean.train({});
-  EXPECT_DOUBLE_EQ(mean.predict({}, 6), 0.0);
+  EXPECT_DOUBLE_EQ(predict_at(mean, {}, 6), 0.0);
 }
 
 }  // namespace

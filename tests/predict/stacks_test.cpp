@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+
+#include "predict/stack_builder.hpp"
 
 namespace corp::predict {
 namespace {
@@ -119,6 +122,37 @@ TEST(CorpStackTest, GateRespectsThreshold) {
   CorpStack closed_stack(options, rng2);
   closed_stack.train(training_corpus(9));
   EXPECT_FALSE(closed_stack.unlocked());
+}
+
+TEST(StackBuilderTest, RejectsOutOfRangeKnobs) {
+  util::Rng rng(3);
+  const auto build_with = [&rng](auto mutate) {
+    StackBuilder builder(Method::kRccr);
+    mutate(builder);
+    return builder.build(rng);
+  };
+  EXPECT_THROW(build_with([](StackBuilder& b) { b.confidence_level(0.0); }),
+               std::invalid_argument);
+  EXPECT_THROW(build_with([](StackBuilder& b) { b.confidence_level(1.0); }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_with([](StackBuilder& b) { b.probability_threshold(-0.1); }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      build_with([](StackBuilder& b) { b.probability_threshold(1.5); }),
+      std::invalid_argument);
+  EXPECT_THROW(build_with([](StackBuilder& b) { b.error_tolerance(-1.0); }),
+               std::invalid_argument);
+}
+
+TEST(StackBuilderTest, GateBoundaryThresholdsAreValidOperatingPoints) {
+  // 0 (gate opens once seeded) and 1 (strictest satisfiable gate) are both
+  // meaningful Eq. 21 settings and must not be rejected.
+  util::Rng rng(3);
+  EXPECT_NE(StackBuilder(Method::kDra).probability_threshold(0.0).build(rng),
+            nullptr);
+  EXPECT_NE(StackBuilder(Method::kDra).probability_threshold(1.0).build(rng),
+            nullptr);
 }
 
 TEST(RccrStackTest, ConservativeBiasIsPositiveOnAverage) {

@@ -96,6 +96,33 @@ TEST(RandomFeasibleTest, NoneFeasibleReturnsNull) {
       random_feasible(vms, ResourceVector(2, 2, 2), 0.5).has_value());
 }
 
+TEST(RandomFeasibleTest, UnitUniformPicksLastFeasible) {
+  // Regression: u == 1.0 (the rng's uniform(0.0, 1.0) can return exactly
+  // 1.0) must clamp onto the last feasible index instead of reading one
+  // past the end of the feasible list.
+  const std::vector<VmAvailability> vms{
+      {1, ResourceVector(10, 10, 10)},
+      {2, ResourceVector(1, 1, 1)},
+      {3, ResourceVector(10, 10, 10)},
+  };
+  const auto idx = random_feasible(vms, ResourceVector(5, 5, 5), 1.0);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(vms[*idx].vm_id, 3u);
+}
+
+TEST(RandomFeasibleTest, SingleCandidateAlwaysPicked) {
+  // With one feasible VM, every u in [0, 1] — including the endpoints —
+  // must land on it (the floor(u * n) index would be 1 at u == 1.0; the
+  // clamp keeps it at 0).
+  const std::vector<VmAvailability> vms{{7, ResourceVector(5, 5, 5)}};
+  const ResourceVector demand(1, 1, 1);
+  for (double u : {0.0, 0.25, 0.5, 0.75, 0.999, 1.0}) {
+    const auto idx = random_feasible(vms, demand, u);
+    ASSERT_TRUE(idx.has_value()) << "u = " << u;
+    EXPECT_EQ(vms[*idx].vm_id, 7u) << "u = " << u;
+  }
+}
+
 TEST(RandomFeasibleTest, PickClamped) {
   const std::vector<VmAvailability> vms{{1, ResourceVector(5, 5, 5)}};
   EXPECT_TRUE(random_feasible(vms, ResourceVector(1, 1, 1), 1.5).has_value());

@@ -22,6 +22,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "predict/backtest.hpp"
+#include "predict/stack_builder.hpp"
 #include "sim/replication.hpp"
 #include "sim/workloads.hpp"
 #include "trace/google_format.hpp"
@@ -379,7 +380,7 @@ int cmd_backtest(const util::ArgParser& args) {
                                    setup.aggressiveness)
            .stack;
   util::Rng rng(sim::simulation_seed(experiment.seed, method));
-  auto stack = predict::make_stack(method, stack_config, rng);
+  auto stack = predict::StackBuilder(method).config(stack_config).build(rng);
   std::cout << "backtesting " << predict::method_name(method)
             << " on unused-CPU (request-normalized)...\n";
   stack->train(train_corpus.per_type[0]);

@@ -21,6 +21,9 @@ Rules (see docs/static_analysis.md for the full contract):
                 is double-only by design (silent precision loss)
   CORP-SEED-001 util::derive_seed called with a bare integer literal as
                 the stream tag instead of a named stream constant
+  CORP-API-001  direct construction of a prediction stack outside
+                predict/stacks + StackBuilder (bypasses option
+                validation and the Table II defaults)
 
 Suppressions are per-rule comments on the offending line or the line
 directly above it, e.g. ``// lint: sorted-gather``.  Each rule names its
@@ -420,6 +423,53 @@ def check_seed_stream_tag(src: SourceFile) -> Iterator[Violation]:
                     "`// lint: literal-stream`)")
 
 
+_STACK_TYPES = ("CorpStack", "RccrStack", "CloudScaleStack", "DraStack")
+
+#: The construction home: the stacks module itself plus the one factory
+#: allowed to assemble options (StackBuilder).
+_STACK_HOME = ("predict/stacks.hpp", "predict/stacks.cpp",
+               "predict/stack_builder.hpp", "predict/stack_builder.cpp")
+
+
+def _in_stack_home(path: Path) -> bool:
+    text = str(path)
+    return any(text.endswith(suffix) for suffix in _STACK_HOME)
+
+
+def check_direct_stack_construction(src: SourceFile) -> Iterator[Violation]:
+    if _in_stack_home(src.path):
+        return
+    toks = src.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text not in _STACK_TYPES:
+            continue
+        if _seq(toks, i + 1, "::"):
+            continue  # scope access (CorpStack::Options) — not a build
+        if i >= 1 and toks[i - 1].text in ("struct", "class"):
+            continue  # a declaration, not a construction
+        constructed = False
+        if i >= 1 and toks[i - 1].text == "new":
+            constructed = True
+        elif i >= 2 and toks[i - 1].text == "<" and \
+                toks[i - 2].text in ("make_unique", "make_shared"):
+            constructed = True
+        elif _seq(toks, i + 1, "(") or _seq(toks, i + 1, "{"):
+            constructed = True  # temporary: CorpStack(...) / CorpStack{...}
+        elif i + 2 < len(toks) and toks[i + 1].kind == "ident" and \
+                toks[i + 2].text in ("(", "{", ";", "="):
+            constructed = True  # local/member: CorpStack stack(...)
+        if not constructed:
+            continue
+        if src.justified(tok.line, "stack-direct"):
+            continue
+        yield Violation(
+            src.path, tok.line, "CORP-API-001",
+            f"direct {tok.text} construction — build stacks through "
+            "predict::StackBuilder (or make_stack) so options are "
+            "validated and Table II defaults apply (justify with "
+            "`// lint: stack-direct`)")
+
+
 RULES: tuple[Rule, ...] = (
     Rule("CORP-RNG-001", "raw std:: random engine outside util/rng",
          "raw-engine", check_raw_engine),
@@ -435,6 +485,8 @@ RULES: tuple[Rule, ...] = (
          "float-ok", check_float_in_pipeline),
     Rule("CORP-SEED-001", "derive_seed stream tag is a bare literal",
          "literal-stream", check_seed_stream_tag),
+    Rule("CORP-API-001", "direct prediction-stack construction",
+         "stack-direct", check_direct_stack_construction),
 )
 
 #: Default scan roots, relative to the repo root (tests/ is exempt: test

@@ -1,0 +1,24 @@
+// Fixture: must trip exactly CORP-API-001.
+// Hand-rolled stack construction bypasses StackBuilder's option
+// validation and the Table II defaults baked into build().
+#include <memory>
+
+namespace corp::predict {
+
+class CorpStack;
+class DraStack;
+
+std::unique_ptr<CorpStack> assemble_by_hand() {
+  return std::make_unique<CorpStack>();  // violation: direct construction
+}
+
+int temporary_stack() {
+  DraStack local{};  // violation: local stack built outside the builder
+  (void)local;
+  return 0;
+}
+
+// Commented-out code must not trip:
+// auto old = std::make_unique<RccrStack>(options);
+
+}  // namespace corp::predict

@@ -59,4 +59,22 @@ float display_ratio(float hits, float total) {
   return total > 0.0f ? hits / total : 0.0f;
 }
 
+// Naming a prediction-stack type is fine — CORP-API-001 only fires on
+// construction. Scope access, references, and smart-pointer storage are
+// all near-misses that must stay clean.
+class CorpStack;
+struct RccrStack {
+  struct Options {
+    int horizon = 6;
+  };
+};
+
+int stack_scope_access_only(const CorpStack& stack,
+                            std::vector<CorpStack*>& registry) {
+  RccrStack::Options options;
+  registry.push_back(nullptr);
+  (void)stack;
+  return options.horizon;
+}
+
 }  // namespace corp::fixture
