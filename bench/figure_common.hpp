@@ -9,13 +9,15 @@
 // job validates it with tools/validate_metrics.py.
 //
 // CLI: [CSV_PREFIX] [--csv PREFIX] [--json PATH] [--metrics-out PATH]
-//      [--threads N] [--seed S] [--no-metrics]
+//      [--threads N] [--shards K] [--seed S] [--no-metrics]
 //   CSV_PREFIX / --csv   write each figure as <prefix><id>.csv
 //   --json PATH          append the run record to PATH (JSON lines);
 //                        the record is always printed to stdout too
 //   --metrics-out PATH   append the standalone metrics snapshot to PATH
 //                        (same JSON-lines schema as corpsim --metrics-out)
 //   --threads N          worker threads for the point sweeps (0 = all cores)
+//   --shards K           slot-engine shards per simulation (default 1;
+//                        0 = one per worker thread; bit-identical for all K)
 //   --seed S             base experiment seed (default 7)
 //   --no-metrics 1       disable metric collection (overhead A/B runs)
 #pragma once
@@ -39,13 +41,16 @@ struct BenchOptions {
   std::string json_path;    // empty = stdout only
   std::string metrics_out;  // empty = no standalone metrics file
   std::size_t threads = 0;
+  /// Slot-engine shards (Params::shards): 0 = one per worker thread.
+  std::size_t shards = 1;
   std::uint64_t seed = 7;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) try {
   const util::ArgParser args(
       argc, argv, 1,
-      {"csv", "json", "metrics-out", "threads", "seed", "no-metrics"});
+      {"csv", "json", "metrics-out", "threads", "shards", "seed",
+       "no-metrics"});
   BenchOptions opts;
   // Back-compat: the original binaries took the CSV prefix positionally.
   if (!args.positional().empty()) opts.csv_prefix = args.positional().front();
@@ -53,6 +58,7 @@ inline BenchOptions parse_options(int argc, char** argv) try {
   opts.json_path = args.get("json", "");
   opts.metrics_out = args.get("metrics-out", "");
   opts.threads = args.get_size("threads", 0);
+  opts.shards = args.get_size("shards", 1);
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   // Collection is on by default: the run record's "metrics" object is part
   // of the bench contract, and the disabled-path cost is what --no-metrics
@@ -74,6 +80,7 @@ inline sim::ExperimentConfig cluster_experiment(const BenchOptions& opts) {
   experiment.environment = cluster::EnvironmentConfig::PalmettoCluster();
   experiment.seed = opts.seed;
   experiment.params.threads = opts.threads;
+  experiment.params.shards = opts.shards;
   return experiment;
 }
 
@@ -82,6 +89,7 @@ inline sim::ExperimentConfig ec2_experiment(const BenchOptions& opts) {
   experiment.environment = cluster::EnvironmentConfig::AmazonEc2();
   experiment.seed = opts.seed;
   experiment.params.threads = opts.threads;
+  experiment.params.shards = opts.shards;
   return experiment;
 }
 

@@ -1,0 +1,136 @@
+// Scale study of the sharded slot engine: the same CORP workload replayed
+// on clusters of 1k, 10k and 100k VMs — two orders of magnitude past the
+// paper's 50-server testbed — once with the serial single-shard layout and
+// once sharded across all cores. Arrivals are spread over the whole
+// horizon so the placement path rebuilds its O(VMs) candidate views nearly
+// every slot; that walk is exactly the wall the sharded engine fans out.
+//
+// The headline gauge is sim.slots_per_second (sharded rate at the largest
+// size); per-point rates land in scale.slots_per_second.v<VMS>.s<SHARDS>
+// and per-size speedups in scale.speedup.v<VMS>. The CI bench-smoke job
+// gates on the headline gauge via tools/validate_metrics.py. Serial and
+// sharded runs must agree bit-for-bit (the shard-equivalence contract);
+// this harness re-checks it before timing is trusted, micro_kernels-style.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "figure_common.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace corp;
+
+/// A Palmetto-grade cluster scaled to `vms` virtual machines (4 per PM).
+cluster::EnvironmentConfig scaled_env(std::size_t vms) {
+  cluster::EnvironmentConfig env =
+      cluster::EnvironmentConfig::PalmettoCluster();
+  env.name = "scaled-" + std::to_string(vms);
+  env.vms_per_pm = 4;
+  env.num_pms = std::max<std::size_t>(1, vms / env.vms_per_pm);
+  return env;
+}
+
+trace::Trace make_trace(const cluster::EnvironmentConfig& env,
+                        std::size_t jobs, std::int64_t horizon,
+                        std::uint64_t seed) {
+  trace::GoogleTraceGenerator gen(
+      sim::scaled_generator_config(env, jobs, horizon));
+  util::Rng rng(seed);
+  return gen.generate(rng);
+}
+
+struct TimedRun {
+  sim::SimulationResult result;
+  double run_ms = 0.0;
+};
+
+TimedRun run_point(const cluster::EnvironmentConfig& env, std::size_t shards,
+                   std::size_t threads, std::uint64_t seed,
+                   const trace::Trace& training, const trace::Trace& eval) {
+  sim::SimulationConfig config;
+  config.environment = env;
+  config.method = sim::Method::kCorp;
+  config.seed = seed;
+  config.params.shards = shards;
+  config.params.threads = threads;
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+  TimedRun timed;
+  const bench::BenchTimer timer;
+  timed.result = simulation.run(eval);
+  timed.run_ms = timer.elapsed_ms();
+  return timed;
+}
+
+double slots_per_second(const TimedRun& run) {
+  return static_cast<double>(run.result.slots_simulated) * 1e3 /
+         std::max(run.run_ms, 1e-6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const bench::BenchTimer total;
+  std::size_t points = 0;
+
+  // Steady arrivals: ~10 jobs per slot across the horizon keep the queue
+  // non-empty nearly every slot, so every slot pays the O(VMs) view walk.
+  constexpr std::size_t kJobs = 600;
+  constexpr std::int64_t kHorizon = 60;
+  constexpr std::size_t kVmSweep[] = {1'000, 10'000, 100'000};
+
+  util::TextTable table(
+      {"vms", "slots", "serial slots/s", "sharded slots/s", "speedup"});
+  double headline = 0.0;
+  for (const std::size_t vms : kVmSweep) {
+    const cluster::EnvironmentConfig env = scaled_env(vms);
+    const trace::Trace training = make_trace(env, 400, 10, opts.seed + 1);
+    const trace::Trace eval = make_trace(env, kJobs, kHorizon, opts.seed + 2);
+
+    const TimedRun serial =
+        run_point(env, /*shards=*/1, /*threads=*/1, opts.seed, training, eval);
+    const TimedRun sharded = run_point(env, /*shards=*/0, opts.threads,
+                                       opts.seed, training, eval);
+    // Contract check before the timing is trusted: sharded == serial.
+    if (serial.result.overall_utilization !=
+            sharded.result.overall_utilization ||
+        serial.result.jobs_completed != sharded.result.jobs_completed ||
+        serial.result.slots_simulated != sharded.result.slots_simulated) {
+      throw std::logic_error("scale_study: shard/serial divergence at " +
+                             std::to_string(vms) + " VMs");
+    }
+
+    const double serial_rate = slots_per_second(serial);
+    const double sharded_rate = slots_per_second(sharded);
+    const double speedup = sharded_rate / std::max(serial_rate, 1e-6);
+    const std::string tag = "v" + std::to_string(vms);
+    obs::set_gauge(("scale.slots_per_second." + tag + ".s1").c_str(),
+                   serial_rate);
+    obs::set_gauge(("scale.slots_per_second." + tag + ".auto").c_str(),
+                   sharded_rate);
+    obs::set_gauge(("scale.speedup." + tag).c_str(), speedup);
+    headline = sharded_rate;
+    table.add_row(std::to_string(vms),
+                  {static_cast<double>(serial.result.slots_simulated),
+                   serial_rate, sharded_rate, speedup});
+    points += 2;
+  }
+  // Headline: the sharded rate at the largest size — the number ROADMAP
+  // tracks and bench-smoke gates on.
+  obs::set_gauge("sim.slots_per_second", headline);
+
+  std::cout << table.to_string() << '\n';
+  bench::finish(opts, "scale_study", total, points,
+                util::ThreadPool::resolve(opts.threads));
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "cluster/cluster.hpp"
 
+#include <span>
+#include <stdexcept>
+
 namespace corp::cluster {
 
 Cluster::Cluster(const EnvironmentConfig& env) : env_(env) {
@@ -18,6 +21,26 @@ Cluster::Cluster(const EnvironmentConfig& env) : env_(env) {
     }
     pms_.push_back(std::move(pm));
   }
+}
+
+std::span<VirtualMachine> Cluster::vm_block(const ShardRange& range) {
+  if (range.end > vms_.size() || range.begin > range.end) {
+    throw std::out_of_range("Cluster::vm_block: range outside VM table");
+  }
+  return std::span<VirtualMachine>(vms_).subspan(range.begin, range.size());
+}
+
+std::span<const VirtualMachine> Cluster::vm_block(
+    const ShardRange& range) const {
+  if (range.end > vms_.size() || range.begin > range.end) {
+    throw std::out_of_range("Cluster::vm_block: range outside VM table");
+  }
+  return std::span<const VirtualMachine>(vms_).subspan(range.begin,
+                                                       range.size());
+}
+
+ShardPlan Cluster::shard_plan(std::size_t shards) const {
+  return ShardPlan(vms_.size(), shards);
 }
 
 ResourceVector Cluster::max_vm_capacity() const {

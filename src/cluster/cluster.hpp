@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/environment.hpp"
+#include "cluster/sharding.hpp"
 #include "cluster/vm.hpp"
 
 namespace corp::cluster {
@@ -32,6 +34,15 @@ class Cluster {
 
   std::vector<VirtualMachine>& vms() { return vms_; }
   const std::vector<VirtualMachine>& vms() const { return vms_; }
+
+  /// The contiguous VM block of one shard (structure-of-arrays view for
+  /// the sharded slot engine: each worker touches only its own block).
+  std::span<VirtualMachine> vm_block(const ShardRange& range);
+  std::span<const VirtualMachine> vm_block(const ShardRange& range) const;
+
+  /// Partition plan carving this cluster's VM table into `shards`
+  /// contiguous blocks (clamped; degenerate-safe for empty clusters).
+  ShardPlan shard_plan(std::size_t shards) const;
 
   /// Component-wise maximum VM capacity C' = <C'_1, ..., C'_l> (Eq. 22's
   /// normalizer for the unused resource volume).

@@ -1,0 +1,42 @@
+#include "cluster/sharding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corp::cluster {
+
+ShardPlan::ShardPlan(std::size_t num_vms, std::size_t requested_shards)
+    : num_vms_(num_vms) {
+  // Zero VMs keeps the trivial single empty shard; every division below
+  // is guarded by num_shards_ >= 1.
+  num_shards_ = std::clamp<std::size_t>(requested_shards, 1,
+                                        std::max<std::size_t>(1, num_vms));
+  base_ = num_vms_ / num_shards_;
+  remainder_ = num_vms_ % num_shards_;
+}
+
+ShardRange ShardPlan::range(std::size_t s) const {
+  if (s >= num_shards_) {
+    throw std::out_of_range("ShardPlan::range: shard index out of range");
+  }
+  // Shards [0, remainder_) hold base_+1 VMs; the rest hold base_.
+  const std::size_t extra = std::min(s, remainder_);
+  const std::size_t begin = s * base_ + extra;
+  const std::size_t size = base_ + (s < remainder_ ? 1 : 0);
+  return ShardRange{static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(begin + size)};
+}
+
+std::size_t ShardPlan::shard_of(std::uint32_t vm_id) const {
+  if (vm_id >= num_vms_) {
+    throw std::out_of_range("ShardPlan::shard_of: VM index out of range");
+  }
+  // The first remainder_ shards cover [0, remainder_ * (base_ + 1)).
+  const std::size_t wide = remainder_ * (base_ + 1);
+  if (vm_id < wide) return vm_id / (base_ + 1);
+  // base_ > 0 here: base_ == 0 implies num_shards_ == num_vms_ (clamped),
+  // so every VM lands in the wide region above.
+  return remainder_ + (vm_id - wide) / base_;
+}
+
+}  // namespace corp::cluster

@@ -1,0 +1,62 @@
+// Shard partitioning of the VM table: contiguous, near-equal blocks of VM
+// indices, one block per shard. The sharded slot engine (sim/shard_engine)
+// runs each block's telemetry update, gate evaluation and candidate
+// collection on its own worker and merges cross-shard effects at slot
+// barriers, so the partition must be
+//   * deterministic — a pure function of (num_vms, requested shards);
+//   * contiguous   — each shard owns [begin, end), keeping its VM state
+//                    and running-job block cache-local (structure-of-
+//                    arrays friendly);
+//   * degenerate-safe — zero VMs, one VM, or more shards than VMs must
+//                    never divide by zero or produce out-of-range blocks
+//                    (requested counts are clamped, empty shards are
+//                    never created).
+//
+// The architectural exemplar is SLURM's slurmctld: centralized decisions
+// over a partitioned node table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace corp::cluster {
+
+/// Contiguous block of VM indices [begin, end) owned by one shard.
+struct ShardRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Deterministic partition of `num_vms` VMs into contiguous near-equal
+/// blocks. The first `num_vms % shards` blocks are one VM larger, so
+/// block sizes differ by at most one and shard_of() is O(1) arithmetic.
+class ShardPlan {
+ public:
+  /// The trivial plan: one (possibly empty) shard.
+  ShardPlan() = default;
+
+  /// Clamps `requested_shards` into [1, max(1, num_vms)]: a request of 0
+  /// means one shard, and asking for more shards than VMs collapses to
+  /// one VM per shard instead of manufacturing empty shards.
+  ShardPlan(std::size_t num_vms, std::size_t requested_shards);
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::size_t num_vms() const { return num_vms_; }
+
+  /// The VM block of shard `s` (s < num_shards()).
+  ShardRange range(std::size_t s) const;
+
+  /// The shard owning VM `vm_id` (vm_id < num_vms()). O(1).
+  std::size_t shard_of(std::uint32_t vm_id) const;
+
+ private:
+  std::size_t num_vms_ = 0;
+  std::size_t num_shards_ = 1;
+  std::size_t base_ = 0;       // VMs per shard before remainder spread
+  std::size_t remainder_ = 0;  // first `remainder_` shards get one extra
+};
+
+}  // namespace corp::cluster

@@ -68,6 +68,15 @@ struct Params {
   /// concurrency). One knob drives both the per-figure point sweeps and
   /// run_replicated_point.
   std::size_t threads = 0;
+  /// Shards of the simulation slot loop: VM, telemetry and running-job
+  /// state is partitioned into this many contiguous blocks whose per-slot
+  /// walks run on worker threads (sim/shard_engine.hpp). 0 = one shard
+  /// per resolved worker thread; requests are clamped to the VM count.
+  /// Results are bit-identical for every value — 1 (the default) IS the
+  /// serial reference layout — so this is purely a throughput knob.
+  /// Fanning out needs a resolved worker count > 1; on a single-core
+  /// host the engine stays inline-serial regardless of this value.
+  std::size_t shards = 1;
 
   /// Builds the default per-type prediction StackConfig.
   predict::StackConfig stack_config() const;

@@ -1,0 +1,881 @@
+#include "sim/shard_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/sharding.hpp"
+#include "dnn/network.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "util/seed_streams.hpp"
+#include "util/stats.hpp"
+
+namespace corp::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using trace::Job;
+using trace::kNumResources;
+using trace::ResourceVector;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Bottleneck satisfaction ratio: min over resource types with non-trivial
+/// demand of received/desired, in [0, 1].
+double bottleneck_ratio(const ResourceVector& received,
+                        const ResourceVector& desired) {
+  constexpr double kEps = 1e-9;
+  double ratio = 1.0;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    if (desired[r] > kEps) {
+      ratio = std::min(ratio, received[r] / desired[r]);
+    }
+  }
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+/// One running job. Lives in its VM's shard block; `seq` is the global
+/// admission sequence number assigned at placement, the sort key of every
+/// cross-shard gather (shard rosters stay seq-sorted by construction:
+/// removals are stable compactions and placements append strictly
+/// increasing seqs).
+struct RunningJob {
+  const Job* job = nullptr;
+  std::uint64_t seq = 0;
+  std::uint32_t vm_id = 0;
+  sched::AllocationKind kind = sched::AllocationKind::kReserved;
+  ResourceVector allocated;
+  double progress = 0.0;
+  std::int64_t submit_slot = 0;
+  sched::DemandHistory demand_history;
+  std::array<std::vector<double>, kNumResources> unused_history;
+  /// Normalized (fraction-space) forecast awaiting its Eq. 20 outcome.
+  std::optional<ResourceVector> pending_prediction;
+  std::size_t slots_since_prediction = 0;
+  /// Latest per-window unused forecast, aggregated into the VM view.
+  ResourceVector cached_prediction;
+  bool has_cached_prediction = false;
+  /// Consecutive slots an opportunistic tenant made ~no progress.
+  std::size_t starved_slots = 0;
+};
+
+/// A shard-local effect that must be applied globally at the slot
+/// barrier, in seq order across shards.
+struct SlotEvent {
+  enum class Kind : std::uint8_t {
+    kComplete = 0,  // record in the SLO tracker
+    kRequeue = 1,   // preempted opportunistic lease: resubmit the job
+  };
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kComplete;
+  const Job* job = nullptr;
+};
+
+/// One shard: a contiguous VM block plus structure-of-arrays job state.
+/// Workers touch only their own shard during parallel phases; everything
+/// that crosses shards is staged in the event/sample buffers and merged
+/// serially at the barrier.
+struct Shard {
+  cluster::ShardRange vms;
+  std::vector<RunningJob> jobs;  // invariant: sorted by seq
+
+  // --- per-slot scratch, parallel arrays over `jobs` -------------------
+  std::vector<ResourceVector> desired;
+  std::vector<ResourceVector> received;
+  std::vector<cluster::AllocationSample> samples;
+  // Dense per-VM accumulators, indexed vm_id - vms.begin (replaces the
+  // historical per-slot hash maps: no hashing on the hot path, and the
+  // per-VM accumulation order is the shard-roster seq order).
+  std::vector<ResourceVector> vm_consumed;
+  std::vector<ResourceVector> vm_opp_want;
+  // --- barrier staging -------------------------------------------------
+  std::vector<SlotEvent> events;
+  std::vector<std::size_t> matured;           // job indices, seq order
+  std::vector<ResourceVector> matured_actual;  // aligned with `matured`
+  // --- per-slot tallies (merged with commutative integer adds) ---------
+  std::size_t gaps = 0;
+  std::size_t promotions = 0;
+  std::size_t preemptions = 0;
+};
+
+/// K-way sorted gather: visits (shard, index) pairs in ascending seq
+/// order across shards. Seqs are globally unique, and each shard's list
+/// is pre-sorted, so a linear cursor scan per step is exact; shard
+/// counts are small, so the scan beats a heap.
+template <typename SizeFn, typename SeqFn, typename VisitFn>
+void merge_by_seq(std::size_t num_shards, const SizeFn& size_of,
+                  const SeqFn& seq_of, const VisitFn& visit) {
+  std::vector<std::size_t> cursor(num_shards, 0);
+  for (;;) {
+    std::size_t best = num_shards;
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (cursor[s] < size_of(s)) {
+        const std::uint64_t seq = seq_of(s, cursor[s]);
+        if (seq < best_seq) {
+          best = s;
+          best_seq = seq;
+        }
+      }
+    }
+    if (best == num_shards) break;
+    visit(best, cursor[best]++);
+  }
+}
+
+/// Crash-killed jobs waiting out their retry backoff.
+struct PendingRetry {
+  const Job* job = nullptr;
+  std::int64_t release_slot = 0;
+};
+
+}  // namespace
+
+ShardEngine::ShardEngine(const SimulationConfig& config,
+                         predict::VectorPredictor& predictor,
+                         sched::Scheduler& scheduler,
+                         std::unique_ptr<util::ThreadPool>& pool_slot)
+    : config_(config),
+      predictor_(predictor),
+      scheduler_(scheduler),
+      pool_slot_(pool_slot) {}
+
+SimulationResult ShardEngine::run(const trace::Trace& trace) {
+  const obs::ScopedTimer run_timer("sim.run");
+  // Metric handles hoisted out of the slot loop: the per-slot cost is a
+  // handful of relaxed atomic adds when enabled, a null check when not.
+  obs::MetricRegistry& reg = obs::registry();
+  const bool obs_on = reg.enabled();
+  obs::Counter* m_slots = obs_on ? &reg.counter("sim.slot_ticks") : nullptr;
+  obs::Counter* m_attempts =
+      obs_on ? &reg.counter("sim.placement_attempts") : nullptr;
+  obs::Counter* m_failures =
+      obs_on ? &reg.counter("sim.placement_failures") : nullptr;
+  obs::Counter* m_promotions =
+      obs_on ? &reg.counter("sim.gate_promotions") : nullptr;
+  obs::Counter* m_preemptions =
+      obs_on ? &reg.counter("sim.gate_preemptions") : nullptr;
+  obs::PhaseStat* m_place_phase = obs_on ? &reg.phase("sim.place") : nullptr;
+  obs::PhaseStat* m_predict_phase =
+      obs_on ? &reg.phase("sim.predict") : nullptr;
+
+  const Params& params = config_.params;
+  const std::size_t L = params.window_slots;
+  const bool opportunistic_method =
+      config_.method == Method::kCorp || config_.method == Method::kRccr;
+
+  cluster::Cluster cluster(config_.environment);
+  cluster::SlotMetricsAccumulator metrics(params.weights);
+  cluster::SloTracker slo;
+  util::Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // --- shard layout ----------------------------------------------------
+  // shards == 0 resolves to one shard per worker thread; any request is
+  // clamped to the VM count, so a single VM (or an empty cluster) always
+  // collapses to the serial single-shard layout. Pools are gated on the
+  // *resolved* worker count: when the hardware only offers one thread
+  // (threads == 0 on a single-core box), shipping work to a one-worker
+  // pool is a context-switch round trip per dispatch with nothing to
+  // overlap — the engine stays inline-serial instead.
+  const std::size_t resolved_threads =
+      util::ThreadPool::resolve(params.threads);
+  const std::size_t requested_shards =
+      params.shards == 0 ? resolved_threads : params.shards;
+  const cluster::ShardPlan plan = cluster.shard_plan(requested_shards);
+  std::vector<Shard> shards(plan.num_shards());
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    shards[s].vms = plan.range(s);
+  }
+  const std::size_t num_shards = shards.size();
+  if (num_shards > 1 && resolved_threads > 1 && pool_slot_ == nullptr) {
+    pool_slot_ = std::make_unique<util::ThreadPool>(params.threads);
+  }
+  // Runs each shard's slot work, fanned out on the pool when one exists.
+  // Shard bodies only touch shard-local state (their VM block, their job
+  // roster, their staging buffers), so execution order cannot change any
+  // result bit.
+  const auto for_each_shard =
+      [&shards, this](const std::function<void(std::size_t)>& body) {
+        if (pool_slot_ == nullptr || shards.size() <= 1) {
+          for (std::size_t s = 0; s < shards.size(); ++s) body(s);
+        } else {
+          pool_slot_->parallel_for(shards.size(), body);
+        }
+      };
+  const auto total_running = [&shards] {
+    std::size_t n = 0;
+    for (const Shard& shard : shards) n += shard.jobs.size();
+    return n;
+  };
+  std::uint64_t next_seq = 0;
+
+  SimulationResult result;
+  result.method = config_.method;
+
+  std::deque<const Job*> queue;
+  const auto& jobs = trace.jobs();
+  std::size_t next_arrival = 0;
+  const std::int64_t horizon = trace.horizon_slots();
+  const std::int64_t max_slot = horizon + config_.grace_slots;
+
+  double compute_ms = 0.0;
+  double comm_us = 0.0;
+
+  const ResourceVector max_vm_capacity = cluster.max_vm_capacity();
+
+  // Fault injection. The oracle hangs off its own derived seed stream and
+  // with all rates zero is inert: none of the `faults_on` branches below
+  // execute, no randomness is drawn, and the run is bit-identical to a
+  // build without the subsystem.
+  fault::FaultInjector injector(
+      config_.faults, util::derive_seed(config_.seed, util::seed_stream::kFault),
+      cluster.num_vms(), max_slot + 1);
+  const bool faults_on = injector.enabled();
+  obs::Counter* m_vm_crashes =
+      obs_on && faults_on ? &reg.counter("fault.vm_crashes") : nullptr;
+  obs::Counter* m_vm_recoveries =
+      obs_on && faults_on ? &reg.counter("fault.vm_recoveries") : nullptr;
+  obs::Counter* m_jobs_killed =
+      obs_on && faults_on ? &reg.counter("fault.jobs_killed") : nullptr;
+  obs::Counter* m_job_retries =
+      obs_on && faults_on ? &reg.counter("fault.job_retries") : nullptr;
+  obs::Counter* m_jobs_dropped =
+      obs_on && faults_on ? &reg.counter("fault.jobs_dropped") : nullptr;
+  obs::Counter* m_gaps =
+      obs_on && faults_on ? &reg.counter("fault.telemetry_gaps") : nullptr;
+  obs::Counter* m_stragglers =
+      obs_on && faults_on ? &reg.counter("fault.straggler_placements")
+                          : nullptr;
+
+  std::vector<PendingRetry> retries;
+  std::unordered_map<std::uint64_t, std::size_t> crash_kills;
+
+  // Merged per-slot sample buffer (global seq order), reused across slots.
+  std::vector<cluster::AllocationSample> slot_samples;
+
+  // Scheduler view table, allocated once: at 100k VMs a fresh
+  // zero-initialized vector every placement slot is a serial multi-MB
+  // construction before any shard can start filling. Each shard fully
+  // overwrites its own slice below, so reuse is safe.
+  std::vector<sched::VmView> views(cluster.num_vms());
+
+  for (std::int64_t t = 0;; ++t) {
+    if (m_slots != nullptr) m_slots->add(1);
+
+    // --- 0. fault transitions and retry release -----------------------
+    // Serial: crashes are rare, and each transition touches exactly one
+    // VM's shard block (stable compaction keeps the roster seq-sorted, so
+    // the kill/retry event order is shard-count invariant).
+    if (faults_on) {
+      for (const fault::VmTransition& tr : injector.transitions_at(t)) {
+        auto& vm = cluster.vm(tr.vm_id);
+        if (tr.up) {
+          vm.recover();
+          ++result.vm_recoveries;
+          if (m_vm_recoveries != nullptr) m_vm_recoveries->add(1);
+          continue;
+        }
+        vm.crash();
+        ++result.vm_crashes;
+        if (m_vm_crashes != nullptr) m_vm_crashes->add(1);
+        // Every tenant dies with the VM — reserved and opportunistic
+        // alike (the pool the latter ride is gone). Killed jobs restart
+        // from scratch after a capped exponential backoff until their
+        // retry budget is spent; the response clock keeps running, so
+        // retries eat into the SLO threshold.
+        Shard& shard = shards[plan.shard_of(tr.vm_id)];
+        std::size_t write = 0;
+        for (std::size_t i = 0; i < shard.jobs.size(); ++i) {
+          RunningJob& rj = shard.jobs[i];
+          if (rj.vm_id != tr.vm_id) {
+            if (write != i) shard.jobs[write] = std::move(shard.jobs[i]);
+            ++write;
+            continue;
+          }
+          ++result.jobs_killed;
+          if (m_jobs_killed != nullptr) m_jobs_killed->add(1);
+          const std::size_t attempt = ++crash_kills[rj.job->id];
+          if (attempt > injector.config().retry_budget) {
+            slo.record_failure(
+                rj.job->id, rj.job->duration_slots,
+                static_cast<std::size_t>(t - rj.submit_slot + 1),
+                static_cast<double>(rj.job->duration_slots) *
+                        rj.job->slo_stretch +
+                    params.slo_slack_slots);
+            ++result.jobs_dropped;
+            if (m_jobs_dropped != nullptr) m_jobs_dropped->add(1);
+          } else {
+            retries.push_back({rj.job, t + injector.retry_backoff(attempt)});
+            ++result.job_retries;
+            if (m_job_retries != nullptr) m_job_retries->add(1);
+          }
+        }
+        shard.jobs.resize(write);
+      }
+      for (std::size_t i = 0; i < retries.size();) {
+        if (retries[i].release_slot <= t) {
+          queue.push_back(retries[i].job);
+          retries.erase(retries.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // --- 1. arrivals --------------------------------------------------
+    while (next_arrival < jobs.size() && jobs[next_arrival].submit_slot <= t) {
+      queue.push_back(&jobs[next_arrival]);
+      ++next_arrival;
+    }
+
+    // --- 2. placement -------------------------------------------------
+    // Candidate collection and gate evaluation fan out per shard (each
+    // worker fills its own contiguous slice of the view table from its
+    // own VM block and job roster); the placement decision itself stays
+    // centralized, slurmctld-style.
+    if (!queue.empty()) {
+      std::vector<const Job*> batch(queue.begin(), queue.end());
+
+      // VM views: unallocated from the ledger; predicted unused is the
+      // sum of the per-job cached forecasts over reserved tenants. The
+      // table is the hoisted buffer above; this loop resets every slice
+      // element, so nothing from the previous slot can leak through.
+      const bool unlocked = opportunistic_method && predictor_.unlocked();
+      for_each_shard([&](std::size_t s) {
+        Shard& shard = shards[s];
+        for (std::uint32_t v = shard.vms.begin; v < shard.vms.end; ++v) {
+          views[v] = sched::VmView{};
+          views[v].vm_id = cluster.vm(v).id();
+          views[v].unallocated = cluster.vm(v).unallocated();
+        }
+        if (!opportunistic_method) return;
+        for (const RunningJob& rj : shard.jobs) {
+          if (rj.kind == sched::AllocationKind::kReserved) {
+            if (rj.has_cached_prediction) {
+              views[rj.vm_id].predicted_unused += rj.cached_prediction;
+            }
+          } else {
+            // Tenants already riding this VM's unused pool consume it:
+            // without this subtraction the same pool would be pledged to
+            // new tenants every slot until the donors starve.
+            views[rj.vm_id].predicted_unused -= rj.allocated;
+          }
+        }
+        for (std::uint32_t v = shard.vms.begin; v < shard.vms.end; ++v) {
+          sched::VmView& view = views[v];
+          view.predicted_unused = view.predicted_unused.clamped_non_negative();
+          // Predicted unused can never exceed what is committed.
+          view.predicted_unused = ResourceVector::min(
+              view.predicted_unused, cluster.vm(view.vm_id).committed());
+          view.unlocked = unlocked && view.predicted_unused.total() > 0.0;
+        }
+      });
+
+      sched::SchedulerContext ctx;
+      ctx.vms = views;
+      ctx.max_vm_capacity = max_vm_capacity;
+      ctx.rng = &rng;
+
+      const auto start = Clock::now();
+      const auto decisions = scheduler_.place(batch, ctx);
+      const double place_ms = elapsed_ms(start);
+      compute_ms += place_ms;
+      if (m_place_phase != nullptr) m_place_phase->add(place_ms);
+      if (m_attempts != nullptr) m_attempts->add(batch.size());
+      comm_us += config_.environment.comm_overhead_us *
+                 static_cast<double>(decisions.size());
+
+      std::vector<bool> placed(batch.size(), false);
+      for (const auto& decision : decisions) {
+        auto& vm = cluster.vm(decision.vm_id);
+        if (decision.kind == sched::AllocationKind::kReserved) {
+          // The scheduler worked from a snapshot; clamp against the live
+          // ledger to absorb floating-point dust.
+          const ResourceVector amount =
+              ResourceVector::min(decision.allocated, vm.unallocated());
+          vm.commit(amount);
+          ++result.reserved_placements;
+        } else {
+          ++result.opportunistic_placements;
+        }
+        // Split the entity's allocation across members: each member is
+        // accounted its own share. For reserved single jobs the decision
+        // amount may be method-sized (CloudScale/DRA below request).
+        const bool single = decision.batch_indices.size() == 1;
+        Shard& shard = shards[plan.shard_of(decision.vm_id)];
+        for (std::size_t member : decision.batch_indices) {
+          placed[member] = true;
+          const Job& job = *batch[member];
+          if (m_stragglers != nullptr && injector.is_straggler(job.id)) {
+            m_stragglers->add(1);
+          }
+          RunningJob rj;
+          rj.job = &job;
+          rj.seq = next_seq++;
+          rj.vm_id = decision.vm_id;
+          rj.kind = decision.kind;
+          rj.allocated = single ? decision.allocated
+                                : job.request * decision.request_fraction;
+          rj.submit_slot = job.submit_slot;
+          shard.jobs.push_back(std::move(rj));
+        }
+      }
+      queue.clear();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!placed[i]) {
+          queue.push_back(batch[i]);
+          if (m_failures != nullptr) m_failures->add(1);
+        }
+      }
+    }
+
+    // --- 3. execution (parallel per shard) ----------------------------
+    // Pass 1: reserved jobs receive min(demand, allocation); accumulate
+    // per-VM consumption. Pass 2: opportunistic jobs share each VM's
+    // *allocated-but-unused* resource (committed minus what the reserved
+    // tenants actually consume) proportionally per resource type.
+    // Uncommitted capacity is NOT donated — it is held for future
+    // reservations — so when donor jobs peak, opportunistic tenants
+    // starve; this is exactly the risk the prediction stack and the
+    // Eq. 21 gate exist to manage. Pass 3: progress, histories, samples.
+    // All state is shard-local; every VM's accumulation order is its
+    // jobs' seq order, so the float sums are shard-count invariant.
+    for_each_shard([&](std::size_t s) {
+      Shard& shard = shards[s];
+      const std::size_t n = shard.jobs.size();
+      shard.desired.resize(n);
+      shard.received.resize(n);
+      shard.samples.resize(n);
+      shard.vm_consumed.assign(shard.vms.size(), ResourceVector{});
+      shard.vm_opp_want.assign(shard.vms.size(), ResourceVector{});
+      for (std::size_t i = 0; i < n; ++i) {
+        RunningJob& rj = shard.jobs[i];
+        const auto idx = static_cast<std::size_t>(rj.progress);
+        shard.desired[i] = rj.job->demand_at(idx);
+        if (faults_on && injector.is_straggler(rj.job->id)) {
+          // Demand-spike straggler: inflate the demand curve, capped at
+          // the request (a tenant cannot demand beyond its reservation).
+          shard.desired[i] = ResourceVector::min(
+              shard.desired[i] * injector.demand_multiplier(rj.job->id),
+              rj.job->request);
+        }
+        const std::size_t local_vm = rj.vm_id - shard.vms.begin;
+        if (rj.kind == sched::AllocationKind::kReserved) {
+          shard.received[i] =
+              ResourceVector::min(shard.desired[i], rj.allocated);
+          shard.vm_consumed[local_vm] += shard.received[i];
+        } else {
+          shard.vm_opp_want[local_vm] +=
+              ResourceVector::min(shard.desired[i], rj.allocated);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        RunningJob& rj = shard.jobs[i];
+        if (rj.kind != sched::AllocationKind::kOpportunistic) continue;
+        const std::size_t local_vm = rj.vm_id - shard.vms.begin;
+        const auto& vm = cluster.vm(rj.vm_id);
+        const ResourceVector leftover =
+            (vm.committed() - shard.vm_consumed[local_vm])
+                .clamped_non_negative();
+        const ResourceVector& want_total = shard.vm_opp_want[local_vm];
+        const ResourceVector want =
+            ResourceVector::min(shard.desired[i], rj.allocated);
+        ResourceVector grant;
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+          const double scale = want_total[r] > 1e-12
+                                   ? std::min(1.0, leftover[r] / want_total[r])
+                                   : 1.0;
+          grant[r] = want[r] * scale;
+        }
+        shard.received[i] = grant;
+      }
+      shard.gaps = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        RunningJob& rj = shard.jobs[i];
+        // Resource pressure slows execution convexly (thrashing): a slot
+        // at satisfaction ratio rho advances rho^p slots of work.
+        const double ratio = bottleneck_ratio(shard.received[i],
+                                              shard.desired[i]);
+        rj.progress += std::pow(ratio, params.contention_penalty);
+        if (rj.kind == sched::AllocationKind::kOpportunistic) {
+          if (ratio < 0.05) {
+            ++rj.starved_slots;
+          } else {
+            rj.starved_slots = 0;
+          }
+        }
+        // A telemetry gap drops this slot's unused observation: the
+        // predictor sees a NaN marker (imputed downstream) instead of the
+        // real sample. Demand history is the scheduler's own bookkeeping
+        // and is not subject to telemetry loss.
+        const bool gap = faults_on && injector.telemetry_gap(rj.job->id, t);
+        if (gap) ++shard.gaps;
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+          rj.demand_history[r].push_back(shard.desired[i][r]);
+          // Unused history is request-normalized, matching the corpus the
+          // prediction stacks were trained on.
+          const double request = rj.job->request[r];
+          rj.unused_history[r].push_back(
+              gap ? std::numeric_limits<double>::quiet_NaN()
+              : request > 0.0
+                  ? std::max(0.0, rj.allocated[r] - shard.received[i][r]) /
+                        request
+                  : 0.0);
+        }
+        // Eq. 1's numerator is the job's demand d_{ij,t} — what it needs,
+        // not what contention granted it; a squeezed job must not read as
+        // perfectly utilized.
+        shard.samples[i].demand = shard.desired[i];
+        shard.samples[i].allocated =
+            rj.kind == sched::AllocationKind::kReserved
+                ? rj.allocated
+                : ResourceVector::zero();
+      }
+    });
+
+    // Barrier: deterministic sorted gather of the per-shard sample and
+    // gap tallies. Samples feed the Eq. 1-4 sums in global seq order, so
+    // the accumulator sees the exact serial addition order.
+    slot_samples.clear();
+    merge_by_seq(
+        num_shards, [&](std::size_t s) { return shards[s].samples.size(); },
+        [&](std::size_t s, std::size_t i) { return shards[s].jobs[i].seq; },
+        [&](std::size_t s, std::size_t i) {
+          slot_samples.push_back(shards[s].samples[i]);
+        });
+    metrics.observe_slot(slot_samples);
+    for (const Shard& shard : shards) {
+      result.telemetry_gaps += shard.gaps;
+      if (m_gaps != nullptr && shard.gaps > 0) {
+        m_gaps->add(shard.gaps);
+      }
+    }
+
+    const std::size_t violations_before = slo.violations();
+    const std::size_t completed_before = slo.completed();
+
+    // --- 4. completions and opportunistic preemption (parallel) -------
+    // An opportunistic tenant whose donors departed has no pool left;
+    // after a few starved slots its lease is preempted and the task is
+    // resubmitted from scratch (opportunistic resources carry no
+    // availability guarantee — Marshall et al.'s preemptible leases).
+    // Lease promotion and the reservation release are VM-local, so each
+    // shard applies them directly; SLO records and requeues are staged as
+    // events and applied at the barrier in seq order.
+    for_each_shard([&](std::size_t s) {
+      Shard& shard = shards[s];
+      shard.events.clear();
+      shard.promotions = 0;
+      shard.preemptions = 0;
+      std::size_t write = 0;
+      for (std::size_t i = 0; i < shard.jobs.size(); ++i) {
+        RunningJob& rj = shard.jobs[i];
+        bool keep = true;
+        if (rj.kind == sched::AllocationKind::kOpportunistic &&
+            rj.starved_slots >= 3) {
+          // Lease promotion first: if the VM has unallocated capacity the
+          // provider simply commits it and the tenant continues as a
+          // reserved job; only when the VM is genuinely full is the lease
+          // preempted and the task resubmitted from scratch.
+          auto& vm = cluster.vm(rj.vm_id);
+          if (vm.can_commit(rj.allocated)) {
+            vm.commit(rj.allocated);
+            rj.kind = sched::AllocationKind::kReserved;
+            rj.starved_slots = 0;
+            ++shard.promotions;
+          } else {
+            ++shard.preemptions;
+            shard.events.push_back(
+                {rj.seq, SlotEvent::Kind::kRequeue, rj.job});
+            keep = false;
+          }
+        } else if (rj.progress + 1e-9 >=
+                   static_cast<double>(rj.job->duration_slots)) {
+          shard.events.push_back(
+              {rj.seq, SlotEvent::Kind::kComplete, rj.job});
+          if (rj.kind == sched::AllocationKind::kReserved) {
+            cluster.vm(rj.vm_id).release(rj.allocated);
+          }
+          keep = false;
+        }
+        if (keep) {
+          if (write != i) shard.jobs[write] = std::move(shard.jobs[i]);
+          ++write;
+        }
+      }
+      shard.jobs.resize(write);
+    });
+    for (const Shard& shard : shards) {
+      result.lease_promotions += shard.promotions;
+      result.lease_preemptions += shard.preemptions;
+      if (m_promotions != nullptr && shard.promotions > 0) {
+        m_promotions->add(shard.promotions);
+      }
+      if (m_preemptions != nullptr && shard.preemptions > 0) {
+        m_preemptions->add(shard.preemptions);
+      }
+    }
+    merge_by_seq(
+        num_shards, [&](std::size_t s) { return shards[s].events.size(); },
+        [&](std::size_t s, std::size_t i) { return shards[s].events[i].seq; },
+        [&](std::size_t s, std::size_t i) {
+          const SlotEvent& event = shards[s].events[i];
+          if (event.kind == SlotEvent::Kind::kRequeue) {
+            queue.push_back(event.job);
+            return;
+          }
+          const auto response =
+              static_cast<std::size_t>(t - event.job->submit_slot + 1);
+          slo.record(event.job->id, event.job->duration_slots, response,
+                     static_cast<double>(event.job->duration_slots) *
+                             event.job->slo_stretch +
+                         params.slo_slack_slots);
+        });
+
+    // --- 5. predictions and re-provisioning ---------------------------
+    // Short-lived jobs often finish before a full window elapses, so the
+    // opportunistic methods refresh every running job's unused forecast
+    // each slot (the paper's per-window forecast, rolled forward), while
+    // Eq. 20 outcome feedback resolves one window after each pledge.
+    if (total_running() > 0) {
+      const auto start = Clock::now();
+      if (opportunistic_method) {
+        // Pass 1 — resolve matured Eq. 20 outcomes for every reserved
+        // tenant before any forecast is made, so the whole window's batch
+        // sees one consistent error-tracker state. The window tail means
+        // are shard-local math and fan out; the stateful record_outcome
+        // calls are applied at the barrier in seq order.
+        //
+        // Only reserved tenants donate unused resource, and only their
+        // series match the training distribution (a squeezed
+        // opportunistic tenant's allocation-minus-received is an artifact
+        // of contention, not reusable capacity).
+        for_each_shard([&](std::size_t s) {
+          Shard& shard = shards[s];
+          shard.matured.clear();
+          shard.matured_actual.clear();
+          for (std::size_t i = 0; i < shard.jobs.size(); ++i) {
+            RunningJob& rj = shard.jobs[i];
+            if (rj.kind != sched::AllocationKind::kReserved) continue;
+            if (!rj.pending_prediction.has_value() ||
+                rj.slots_since_prediction < L) {
+              continue;
+            }
+            ResourceVector actual;
+            for (std::size_t r = 0; r < kNumResources; ++r) {
+              actual[r] = util::tail_mean(rj.unused_history[r], L);
+            }
+            shard.matured.push_back(i);
+            shard.matured_actual.push_back(actual);
+          }
+        });
+        merge_by_seq(
+            num_shards,
+            [&](std::size_t s) { return shards[s].matured.size(); },
+            [&](std::size_t s, std::size_t i) {
+              return shards[s].jobs[shards[s].matured[i]].seq;
+            },
+            [&](std::size_t s, std::size_t i) {
+              RunningJob& rj = shards[s].jobs[shards[s].matured[i]];
+              predictor_.record_outcome(shards[s].matured_actual[i],
+                                        *rj.pending_prediction);
+              rj.pending_prediction.reset();
+            });
+
+        // Pass 2 — deterministic sorted gather of every reserved tenant
+        // in seq order, then ONE batched predictor call for the whole
+        // window instead of per-job scalar calls.
+        std::vector<RunningJob*> reserved;
+        reserved.reserve(slot_samples.size());
+        predict::VectorBatchRequest request;
+        merge_by_seq(
+            num_shards, [&](std::size_t s) { return shards[s].jobs.size(); },
+            [&](std::size_t s, std::size_t i) { return shards[s].jobs[i].seq; },
+            [&](std::size_t s, std::size_t i) {
+              RunningJob& rj = shards[s].jobs[i];
+              if (rj.kind != sched::AllocationKind::kReserved) return;
+              reserved.push_back(&rj);
+              request.histories.push_back(&rj.unused_history);
+            });
+        if (faults_on) {
+          request.faults.reserve(reserved.size());
+          for (const RunningJob* rj : reserved) {
+            predict::InjectedFaultVector injected{};
+            for (std::size_t r = 0; r < kNumResources; ++r) {
+              injected[r] = static_cast<predict::InjectedFault>(
+                  injector.predictor_fault(rj->job->id, t, r));
+            }
+            request.faults.push_back(injected);
+          }
+        }
+        if (pool_slot_ == nullptr && resolved_threads > 1 &&
+            reserved.size() >= dnn::kForwardBatchShardMinRows) {
+          pool_slot_ = std::make_unique<util::ThreadPool>(params.threads);
+        }
+        request.pool = pool_slot_.get();
+        const std::vector<ResourceVector> fractions =
+            predictor_.predict_batch(request);
+
+        // Pass 3 — scatter forecasts back into the per-(job, window)
+        // caches and pledge bookkeeping, in the same seq order.
+        for (std::size_t i = 0; i < reserved.size(); ++i) {
+          RunningJob& rj = *reserved[i];
+          const ResourceVector& fraction = fractions[i];
+          for (std::size_t r = 0; r < kNumResources; ++r) {
+            rj.cached_prediction[r] =
+                std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];
+          }
+          rj.has_cached_prediction = true;
+          // Pledge a forecast into the Eq. 20/21 error accounting only
+          // once the job has a full window of real history behind it;
+          // scoring cold-start guesses would poison the gate with errors
+          // no amount of prediction skill can remove.
+          if (!rj.pending_prediction.has_value()) {
+            if (rj.unused_history[0].size() >= L) {
+              rj.pending_prediction = fraction;
+              rj.slots_since_prediction = 0;
+            }
+          } else {
+            ++rj.slots_since_prediction;
+          }
+        }
+      } else if ((t + 1) % static_cast<std::int64_t>(L) == 0) {
+        // Demand-based methods re-size reservations once per window.
+        // Serial in seq order: the schedulers' internal forecasters are
+        // stateful, and commit/release must apply in a canonical order.
+        merge_by_seq(
+            num_shards, [&](std::size_t s) { return shards[s].jobs.size(); },
+            [&](std::size_t s, std::size_t i) { return shards[s].jobs[i].seq; },
+            [&](std::size_t s, std::size_t i) {
+              RunningJob& rj = shards[s].jobs[i];
+              if (rj.kind != sched::AllocationKind::kReserved) return;
+              const ResourceVector target = scheduler_.reprovision(
+                  *rj.job, rj.demand_history, rj.allocated);
+              auto& vm = cluster.vm(rj.vm_id);
+              const ResourceVector grow =
+                  (target - rj.allocated).clamped_non_negative();
+              const ResourceVector shrink =
+                  (rj.allocated - target).clamped_non_negative();
+              const ResourceVector granted_grow =
+                  ResourceVector::min(grow, vm.unallocated());
+              vm.commit(granted_grow);
+              vm.release(shrink);
+              rj.allocated += granted_grow;
+              rj.allocated -= shrink;
+              rj.allocated = rj.allocated.clamped_non_negative();
+            });
+      }
+      const double predict_ms = elapsed_ms(start);
+      compute_ms += predict_ms;
+      if (m_predict_phase != nullptr) m_predict_phase->add(predict_ms);
+    }
+
+    if (config_.record_timeline) {
+      TimelineSample sample;
+      sample.slot = t;
+      for (const Shard& shard : shards) {
+        for (const RunningJob& rj : shard.jobs) {
+          if (rj.kind == sched::AllocationKind::kReserved) {
+            ++sample.running_reserved;
+          } else {
+            ++sample.running_opportunistic;
+          }
+        }
+      }
+      sample.queued = queue.size();
+      sample.overall_utilization =
+          cluster::overall_utilization(slot_samples, params.weights);
+      double committed = 0.0, capacity = 0.0;
+      for (std::size_t r = 0; r < kNumResources; ++r) {
+        committed += params.weights.w[r] * cluster.total_committed()[r];
+        capacity += params.weights.w[r] * cluster.total_capacity()[r];
+      }
+      sample.committed_fraction = capacity > 0.0 ? committed / capacity : 0.0;
+      sample.completions = slo.completed() - completed_before;
+      sample.violations = slo.violations() - violations_before;
+      result.timeline.add(sample);
+    }
+
+    // --- 6. termination -----------------------------------------------
+    const bool drained = queue.empty() && total_running() == 0 &&
+                         retries.empty() && next_arrival == jobs.size();
+    if (drained || t >= max_slot) {
+      result.slots_simulated = t + 1;
+      if (!drained) {
+        // Force-complete stragglers as violations, running jobs first (in
+        // seq order across shards), then the queue, then pending retries.
+        merge_by_seq(
+            num_shards, [&](std::size_t s) { return shards[s].jobs.size(); },
+            [&](std::size_t s, std::size_t i) { return shards[s].jobs[i].seq; },
+            [&](std::size_t s, std::size_t i) {
+              const RunningJob& rj = shards[s].jobs[i];
+              const auto response =
+                  static_cast<std::size_t>(t - rj.submit_slot + 1);
+              slo.record(rj.job->id, rj.job->duration_slots, response,
+                         static_cast<double>(rj.job->duration_slots) *
+                                 rj.job->slo_stretch +
+                             params.slo_slack_slots);
+              ++result.jobs_forced;
+            });
+        for (const Job* job : queue) {
+          const auto response =
+              static_cast<std::size_t>(t - job->submit_slot + 1);
+          slo.record(job->id, job->duration_slots, response,
+                     static_cast<double>(job->duration_slots) *
+                             job->slo_stretch +
+                         params.slo_slack_slots);
+          ++result.jobs_forced;
+        }
+        for (const PendingRetry& pr : retries) {
+          const auto response =
+              static_cast<std::size_t>(t - pr.job->submit_slot + 1);
+          slo.record(pr.job->id, pr.job->duration_slots, response,
+                     static_cast<double>(pr.job->duration_slots) *
+                             pr.job->slo_stretch +
+                         params.slo_slack_slots);
+          ++result.jobs_forced;
+        }
+      }
+      break;
+    }
+  }
+
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<trace::ResourceKind>(r);
+    result.mean_utilization[r] = metrics.mean_utilization(kind);
+    result.mean_wastage[r] = metrics.mean_wastage(kind);
+  }
+  result.overall_utilization = metrics.mean_overall_utilization();
+  result.overall_wastage = metrics.mean_overall_wastage();
+  result.slo_violation_rate = slo.violation_rate();
+  result.mean_stretch = slo.mean_stretch();
+  result.jobs_completed = slo.completed();
+  result.jobs_violated = slo.violations();
+  result.degradation_tier = static_cast<int>(predictor_.tier());
+  result.compute_latency_ms = compute_ms;
+  result.total_latency_ms = compute_ms + comm_us / 1000.0;
+  if (obs_on) {
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.opportunistic_placements")
+        .add(result.opportunistic_placements);
+    reg.counter("sim.reserved_placements").add(result.reserved_placements);
+    reg.counter("sim.jobs_completed").add(result.jobs_completed);
+    reg.counter("sim.jobs_violated").add(result.jobs_violated);
+    reg.histogram("sim.run_latency_ms").observe(result.total_latency_ms);
+  }
+  return result;
+}
+
+}  // namespace corp::sim

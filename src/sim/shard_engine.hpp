@@ -1,0 +1,60 @@
+// Sharded slot engine: the simulation core behind Simulation::run().
+//
+// The original engine walked every VM and every running job in one flat
+// loop per 10-second slot, which caps cluster size at the paper's 50
+// servers. This engine partitions VM, telemetry and running-job state
+// into contiguous per-shard blocks (cluster::ShardPlan) and runs the
+// per-slot O(VMs + jobs) work — telemetry updates, execution accounting,
+// gate evaluation and per-VM candidate views — on util::ThreadPool
+// workers, one shard per task. Cross-shard effects (placement decisions,
+// SLO records, requeues, the batched prediction gather, global metric
+// sums) are merged at slot barriers with a deterministic sorted gather
+// keyed on each running job's admission sequence number.
+//
+// Determinism contract (the same parallel == serial discipline as the
+// replication harness and the batched predictor): the result is a pure
+// function of the SimulationConfig and trace — bit-identical across
+// `Params::shards` (1 shard IS the serial path: one block holding every
+// VM) and across `Params::threads`, including under active fault
+// injection. tests/sim/shard_equivalence_test.cpp pins this.
+//
+// Architectural exemplar: SLURM's slurmctld — centralized scheduling
+// decisions over a partitioned node table. Placement itself stays
+// centralized (the scheduler sees every VM view each slot); only the
+// embarrassingly shard-local state walks fan out.
+#pragma once
+
+#include <memory>
+
+#include "predict/vector_predictor.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace corp::sim {
+
+class ShardEngine {
+ public:
+  /// `pool_slot` is the owning Simulation's lazily-created worker pool:
+  /// the engine materializes it on first need (sharded slot work or a
+  /// batched-prediction window past the GEMM sharding threshold) so it
+  /// persists across run() calls, and never spawns threads for runs that
+  /// stay serial.
+  ShardEngine(const SimulationConfig& config,
+              predict::VectorPredictor& predictor,
+              sched::Scheduler& scheduler,
+              std::unique_ptr<util::ThreadPool>& pool_slot);
+
+  /// Replays the trace to completion. Same semantics as the historical
+  /// unsharded loop; see simulation.hpp for the slot mechanics.
+  SimulationResult run(const trace::Trace& trace);
+
+ private:
+  const SimulationConfig& config_;
+  predict::VectorPredictor& predictor_;
+  sched::Scheduler& scheduler_;
+  std::unique_ptr<util::ThreadPool>& pool_slot_;
+};
+
+}  // namespace corp::sim

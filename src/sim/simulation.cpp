@@ -1,69 +1,22 @@
 #include "sim/simulation.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <deque>
-#include <limits>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
-#include "dnn/network.hpp"
-#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
+#include "sim/shard_engine.hpp"
 #include "util/rng.hpp"
-#include "util/seed_streams.hpp"
 
 namespace corp::sim {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using trace::Job;
 using trace::kNumResources;
 using trace::ResourceVector;
-
-double elapsed_ms(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
-
-
-/// Bottleneck satisfaction ratio: min over resource types with non-trivial
-/// demand of received/desired, in [0, 1].
-double bottleneck_ratio(const ResourceVector& received,
-                        const ResourceVector& desired) {
-  constexpr double kEps = 1e-9;
-  double ratio = 1.0;
-  for (std::size_t r = 0; r < kNumResources; ++r) {
-    if (desired[r] > kEps) {
-      ratio = std::min(ratio, received[r] / desired[r]);
-    }
-  }
-  return std::clamp(ratio, 0.0, 1.0);
-}
-
-/// Mean of the last `n` entries of a series (whole series if shorter),
-/// skipping non-finite entries (telemetry-gap markers). 0 when the
-/// window holds no finite sample.
-double tail_mean(const std::vector<double>& series, std::size_t n) {
-  if (series.empty()) return 0.0;
-  const std::size_t take = std::min(n, series.size());
-  double sum = 0.0;
-  std::size_t counted = 0;
-  for (std::size_t i = series.size() - take; i < series.size(); ++i) {
-    if (!std::isfinite(series[i])) continue;
-    sum += series[i];
-    ++counted;
-  }
-  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
-}
-
-}  // namespace
-
-namespace {
 
 /// Training series length after concatenation. Individual short-lived
 /// jobs are seconds long; a VM, however, observes a *continuous* unused-
@@ -186,586 +139,8 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   if (!trained_) {
     throw std::logic_error("Simulation::run before train()");
   }
-  const obs::ScopedTimer run_timer("sim.run");
-  // Metric handles hoisted out of the slot loop: the per-slot cost is a
-  // handful of relaxed atomic adds when enabled, a null check when not.
-  obs::MetricRegistry& reg = obs::registry();
-  const bool obs_on = reg.enabled();
-  obs::Counter* m_slots = obs_on ? &reg.counter("sim.slot_ticks") : nullptr;
-  obs::Counter* m_attempts =
-      obs_on ? &reg.counter("sim.placement_attempts") : nullptr;
-  obs::Counter* m_failures =
-      obs_on ? &reg.counter("sim.placement_failures") : nullptr;
-  obs::Counter* m_promotions =
-      obs_on ? &reg.counter("sim.gate_promotions") : nullptr;
-  obs::Counter* m_preemptions =
-      obs_on ? &reg.counter("sim.gate_preemptions") : nullptr;
-  obs::PhaseStat* m_place_phase =
-      obs_on ? &reg.phase("sim.place") : nullptr;
-  obs::PhaseStat* m_predict_phase =
-      obs_on ? &reg.phase("sim.predict") : nullptr;
-  const Params& params = config_.params;
-  const std::size_t L = params.window_slots;
-  const bool opportunistic_method =
-      config_.method == Method::kCorp || config_.method == Method::kRccr;
-
-  cluster::Cluster cluster(config_.environment);
-  cluster::SlotMetricsAccumulator metrics(params.weights);
-  cluster::SloTracker slo;
-  util::Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
-
-  SimulationResult result;
-  result.method = config_.method;
-
-  std::vector<RunningJob> running;
-  std::deque<const Job*> queue;
-  const auto& jobs = trace.jobs();
-  std::size_t next_arrival = 0;
-  const std::int64_t horizon = trace.horizon_slots();
-  const std::int64_t max_slot = horizon + config_.grace_slots;
-
-  double compute_ms = 0.0;
-  double comm_us = 0.0;
-
-  const ResourceVector max_vm_capacity = cluster.max_vm_capacity();
-
-  // Fault injection. The oracle hangs off its own derived seed stream and
-  // with all rates zero is inert: none of the `faults_on` branches below
-  // execute, no randomness is drawn, and the run is bit-identical to a
-  // build without the subsystem.
-  fault::FaultInjector injector(
-      config_.faults,
-      util::derive_seed(config_.seed, util::seed_stream::kFault),
-      cluster.num_vms(), max_slot + 1);
-  const bool faults_on = injector.enabled();
-  obs::Counter* m_vm_crashes =
-      obs_on && faults_on ? &reg.counter("fault.vm_crashes") : nullptr;
-  obs::Counter* m_vm_recoveries =
-      obs_on && faults_on ? &reg.counter("fault.vm_recoveries") : nullptr;
-  obs::Counter* m_jobs_killed =
-      obs_on && faults_on ? &reg.counter("fault.jobs_killed") : nullptr;
-  obs::Counter* m_job_retries =
-      obs_on && faults_on ? &reg.counter("fault.job_retries") : nullptr;
-  obs::Counter* m_jobs_dropped =
-      obs_on && faults_on ? &reg.counter("fault.jobs_dropped") : nullptr;
-  obs::Counter* m_gaps =
-      obs_on && faults_on ? &reg.counter("fault.telemetry_gaps") : nullptr;
-  obs::Counter* m_stragglers =
-      obs_on && faults_on ? &reg.counter("fault.straggler_placements")
-                          : nullptr;
-
-  /// Crash-killed jobs waiting out their retry backoff.
-  struct PendingRetry {
-    const Job* job = nullptr;
-    std::int64_t release_slot = 0;
-  };
-  std::vector<PendingRetry> retries;
-  std::unordered_map<std::uint64_t, std::size_t> crash_kills;
-
-  for (std::int64_t t = 0;; ++t) {
-    if (m_slots != nullptr) m_slots->add(1);
-
-    // --- 0. fault transitions and retry release -----------------------
-    if (faults_on) {
-      for (const fault::VmTransition& tr : injector.transitions_at(t)) {
-        auto& vm = cluster.vm(tr.vm_id);
-        if (tr.up) {
-          vm.recover();
-          ++result.vm_recoveries;
-          if (m_vm_recoveries != nullptr) m_vm_recoveries->add(1);
-          continue;
-        }
-        vm.crash();
-        ++result.vm_crashes;
-        if (m_vm_crashes != nullptr) m_vm_crashes->add(1);
-        // Every tenant dies with the VM — reserved and opportunistic
-        // alike (the pool the latter ride is gone). Killed jobs restart
-        // from scratch after a capped exponential backoff until their
-        // retry budget is spent; the response clock keeps running, so
-        // retries eat into the SLO threshold.
-        for (std::size_t i = 0; i < running.size();) {
-          RunningJob& rj = running[i];
-          if (rj.vm_id != tr.vm_id) {
-            ++i;
-            continue;
-          }
-          ++result.jobs_killed;
-          if (m_jobs_killed != nullptr) m_jobs_killed->add(1);
-          const std::size_t attempt = ++crash_kills[rj.job->id];
-          if (attempt > injector.config().retry_budget) {
-            slo.record_failure(
-                rj.job->id, rj.job->duration_slots,
-                static_cast<std::size_t>(t - rj.submit_slot + 1),
-                static_cast<double>(rj.job->duration_slots) *
-                        rj.job->slo_stretch +
-                    params.slo_slack_slots);
-            ++result.jobs_dropped;
-            if (m_jobs_dropped != nullptr) m_jobs_dropped->add(1);
-          } else {
-            retries.push_back({rj.job, t + injector.retry_backoff(attempt)});
-            ++result.job_retries;
-            if (m_job_retries != nullptr) m_job_retries->add(1);
-          }
-          running[i] = std::move(running.back());
-          running.pop_back();
-        }
-      }
-      for (std::size_t i = 0; i < retries.size();) {
-        if (retries[i].release_slot <= t) {
-          queue.push_back(retries[i].job);
-          retries.erase(retries.begin() +
-                        static_cast<std::ptrdiff_t>(i));
-        } else {
-          ++i;
-        }
-      }
-    }
-
-    // --- 1. arrivals ------------------------------------------------
-    while (next_arrival < jobs.size() &&
-           jobs[next_arrival].submit_slot <= t) {
-      queue.push_back(&jobs[next_arrival]);
-      ++next_arrival;
-    }
-
-    // --- 2. placement ------------------------------------------------
-    if (!queue.empty()) {
-      std::vector<const Job*> batch(queue.begin(), queue.end());
-
-      // VM views: unallocated from the ledger; predicted unused is the
-      // sum of the per-job cached forecasts over reserved tenants.
-      std::vector<sched::VmView> views(cluster.num_vms());
-      for (std::size_t v = 0; v < cluster.num_vms(); ++v) {
-        views[v].vm_id = cluster.vm(v).id();
-        views[v].unallocated = cluster.vm(v).unallocated();
-      }
-      if (opportunistic_method) {
-        const bool unlocked = predictor_->unlocked();
-        for (const RunningJob& rj : running) {
-          if (rj.kind == sched::AllocationKind::kReserved) {
-            if (rj.has_cached_prediction) {
-              views[rj.vm_id].predicted_unused += rj.cached_prediction;
-            }
-          } else {
-            // Tenants already riding this VM's unused pool consume it:
-            // without this subtraction the same pool would be pledged to
-            // new tenants every slot until the donors starve.
-            views[rj.vm_id].predicted_unused -= rj.allocated;
-          }
-        }
-        for (auto& view : views) {
-          view.predicted_unused = view.predicted_unused.clamped_non_negative();
-          // Predicted unused can never exceed what is committed.
-          view.predicted_unused = ResourceVector::min(
-              view.predicted_unused, cluster.vm(view.vm_id).committed());
-          view.unlocked = unlocked && view.predicted_unused.total() > 0.0;
-        }
-      }
-
-      sched::SchedulerContext ctx;
-      ctx.vms = views;
-      ctx.max_vm_capacity = max_vm_capacity;
-      ctx.rng = &rng;
-
-      const auto start = Clock::now();
-      const auto decisions = scheduler_->place(batch, ctx);
-      const double place_ms = elapsed_ms(start);
-      compute_ms += place_ms;
-      if (m_place_phase != nullptr) m_place_phase->add(place_ms);
-      if (m_attempts != nullptr) m_attempts->add(batch.size());
-      comm_us +=
-          config_.environment.comm_overhead_us *
-          static_cast<double>(decisions.size());
-
-      std::vector<bool> placed(batch.size(), false);
-      for (const auto& decision : decisions) {
-        auto& vm = cluster.vm(decision.vm_id);
-        if (decision.kind == sched::AllocationKind::kReserved) {
-          // The scheduler worked from a snapshot; clamp against the live
-          // ledger to absorb floating-point dust.
-          const ResourceVector amount =
-              ResourceVector::min(decision.allocated, vm.unallocated());
-          vm.commit(amount);
-          ++result.reserved_placements;
-        } else {
-          ++result.opportunistic_placements;
-        }
-        // Split the entity's allocation across members: each member is
-        // accounted its own share. For reserved single jobs the decision
-        // amount may be method-sized (CloudScale/DRA below request).
-        const bool single = decision.batch_indices.size() == 1;
-        for (std::size_t member : decision.batch_indices) {
-          placed[member] = true;
-          const Job& job = *batch[member];
-          if (m_stragglers != nullptr && injector.is_straggler(job.id)) {
-            m_stragglers->add(1);
-          }
-          RunningJob rj;
-          rj.job = &job;
-          rj.vm_id = decision.vm_id;
-          rj.kind = decision.kind;
-          rj.allocated = single ? decision.allocated
-                                : job.request * decision.request_fraction;
-          rj.submit_slot = job.submit_slot;
-          running.push_back(std::move(rj));
-        }
-      }
-      queue.clear();
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (!placed[i]) {
-          queue.push_back(batch[i]);
-          if (m_failures != nullptr) m_failures->add(1);
-        }
-      }
-    }
-
-    // --- 3. execution -------------------------------------------------
-    // Pass 1: reserved jobs receive min(demand, allocation); accumulate
-    // per-VM consumption.
-    std::unordered_map<std::uint32_t, ResourceVector> vm_consumed;
-    std::unordered_map<std::uint32_t, ResourceVector> vm_opp_want;
-    std::vector<ResourceVector> desired(running.size());
-    std::vector<ResourceVector> received(running.size());
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      RunningJob& rj = running[i];
-      const auto idx = static_cast<std::size_t>(rj.progress);
-      desired[i] = rj.job->demand_at(idx);
-      if (faults_on && injector.is_straggler(rj.job->id)) {
-        // Demand-spike straggler: inflate the demand curve, capped at the
-        // request (a tenant cannot demand beyond its reservation).
-        desired[i] = ResourceVector::min(
-            desired[i] * injector.demand_multiplier(rj.job->id),
-            rj.job->request);
-      }
-      if (rj.kind == sched::AllocationKind::kReserved) {
-        received[i] = ResourceVector::min(desired[i], rj.allocated);
-        vm_consumed[rj.vm_id] += received[i];
-      } else {
-        const ResourceVector want =
-            ResourceVector::min(desired[i], rj.allocated);
-        vm_opp_want[rj.vm_id] += want;
-      }
-    }
-    // Pass 2: opportunistic jobs share each VM's *allocated-but-unused*
-    // resource (committed minus what the reserved tenants actually
-    // consume) proportionally per resource type. Uncommitted capacity is
-    // NOT donated — it is held for future reservations — so when donor
-    // jobs peak, opportunistic tenants starve; this is exactly the risk
-    // the prediction stack and the Eq. 21 gate exist to manage.
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      RunningJob& rj = running[i];
-      if (rj.kind != sched::AllocationKind::kOpportunistic) continue;
-      const auto& vm = cluster.vm(rj.vm_id);
-      const ResourceVector leftover =
-          (vm.committed() - vm_consumed[rj.vm_id]).clamped_non_negative();
-      const ResourceVector& want_total = vm_opp_want[rj.vm_id];
-      const ResourceVector want =
-          ResourceVector::min(desired[i], rj.allocated);
-      ResourceVector grant;
-      for (std::size_t r = 0; r < kNumResources; ++r) {
-        const double scale =
-            want_total[r] > 1e-12
-                ? std::min(1.0, leftover[r] / want_total[r])
-                : 1.0;
-        grant[r] = want[r] * scale;
-      }
-      received[i] = grant;
-    }
-
-    // Progress, histories, metrics samples.
-    std::vector<cluster::AllocationSample> samples;
-    samples.reserve(running.size());
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      RunningJob& rj = running[i];
-      // Resource pressure slows execution convexly (thrashing): a slot at
-      // satisfaction ratio rho advances rho^p slots of work.
-      const double ratio = bottleneck_ratio(received[i], desired[i]);
-      rj.progress += std::pow(ratio, params.contention_penalty);
-      if (rj.kind == sched::AllocationKind::kOpportunistic) {
-        if (ratio < 0.05) {
-          ++rj.starved_slots;
-        } else {
-          rj.starved_slots = 0;
-        }
-      }
-      // A telemetry gap drops this slot's unused observation: the
-      // predictor sees a NaN marker (imputed downstream) instead of the
-      // real sample. Demand history is the scheduler's own bookkeeping
-      // and is not subject to telemetry loss.
-      const bool gap = faults_on && injector.telemetry_gap(rj.job->id, t);
-      if (gap) {
-        ++result.telemetry_gaps;
-        if (m_gaps != nullptr) m_gaps->add(1);
-      }
-      for (std::size_t r = 0; r < kNumResources; ++r) {
-        rj.demand_history[r].push_back(desired[i][r]);
-        // Unused history is request-normalized, matching the corpus the
-        // prediction stacks were trained on.
-        const double request = rj.job->request[r];
-        rj.unused_history[r].push_back(
-            gap ? std::numeric_limits<double>::quiet_NaN()
-            : request > 0.0
-                ? std::max(0.0, rj.allocated[r] - received[i][r]) / request
-                : 0.0);
-      }
-      cluster::AllocationSample sample;
-      // Eq. 1's numerator is the job's demand d_{ij,t} — what it needs,
-      // not what contention granted it; a squeezed job must not read as
-      // perfectly utilized.
-      sample.demand = desired[i];
-      sample.allocated = rj.kind == sched::AllocationKind::kReserved
-                             ? rj.allocated
-                             : ResourceVector::zero();
-      samples.push_back(sample);
-    }
-    metrics.observe_slot(samples);
-
-    const std::size_t violations_before = slo.violations();
-    const std::size_t completed_before = slo.completed();
-
-    // --- 4. completions and opportunistic preemption ----------------------
-    // An opportunistic tenant whose donors departed has no pool left;
-    // after a few starved slots its lease is preempted and the task is
-    // resubmitted from scratch (opportunistic resources carry no
-    // availability guarantee — Marshall et al.'s preemptible leases).
-    for (std::size_t i = 0; i < running.size();) {
-      RunningJob& rj = running[i];
-      if (rj.kind == sched::AllocationKind::kOpportunistic &&
-          rj.starved_slots >= 3) {
-        // Lease promotion first: if the VM has unallocated capacity the
-        // provider simply commits it and the tenant continues as a
-        // reserved job; only when the VM is genuinely full is the lease
-        // preempted and the task resubmitted from scratch.
-        auto& vm = cluster.vm(rj.vm_id);
-        if (vm.can_commit(rj.allocated)) {
-          vm.commit(rj.allocated);
-          rj.kind = sched::AllocationKind::kReserved;
-          rj.starved_slots = 0;
-          ++result.lease_promotions;
-          if (m_promotions != nullptr) m_promotions->add(1);
-          ++i;
-          continue;
-        }
-        ++result.lease_preemptions;
-        if (m_preemptions != nullptr) m_preemptions->add(1);
-        queue.push_back(rj.job);
-        running[i] = std::move(running.back());
-        running.pop_back();
-        continue;
-      }
-      if (rj.progress + 1e-9 >=
-          static_cast<double>(rj.job->duration_slots)) {
-        const auto response =
-            static_cast<std::size_t>(t - rj.submit_slot + 1);
-        slo.record(rj.job->id, rj.job->duration_slots, response,
-                   static_cast<double>(rj.job->duration_slots) *
-                           rj.job->slo_stretch +
-                       params.slo_slack_slots);
-        if (rj.kind == sched::AllocationKind::kReserved) {
-          cluster.vm(rj.vm_id).release(rj.allocated);
-        }
-        running[i] = std::move(running.back());
-        running.pop_back();
-      } else {
-        ++i;
-      }
-    }
-
-    // --- 5. predictions and re-provisioning -------------------------------
-    // Short-lived jobs often finish before a full window elapses, so the
-    // opportunistic methods refresh every running job's unused forecast
-    // each slot (the paper's per-window forecast, rolled forward), while
-    // Eq. 20 outcome feedback resolves one window after each pledge.
-    if (!running.empty()) {
-      const auto start = Clock::now();
-      if (opportunistic_method) {
-        // Pass 1 — resolve matured Eq. 20 outcomes for every reserved
-        // tenant before any forecast is made, so the whole window's batch
-        // sees one consistent error-tracker state.
-        //
-        // Only reserved tenants donate unused resource, and only their
-        // series match the training distribution (a squeezed opportunistic
-        // tenant's allocation-minus-received is an artifact of contention,
-        // not reusable capacity).
-        for (RunningJob& rj : running) {
-          if (rj.kind != sched::AllocationKind::kReserved) continue;
-          if (rj.pending_prediction.has_value() &&
-              rj.slots_since_prediction >= L) {
-            ResourceVector actual;
-            for (std::size_t r = 0; r < kNumResources; ++r) {
-              actual[r] = tail_mean(rj.unused_history[r], L);
-            }
-            predictor_->record_outcome(actual, *rj.pending_prediction);
-            rj.pending_prediction.reset();
-          }
-        }
-
-        // Pass 2 — deterministic gather in roster order (the roster's
-        // order is itself seed-deterministic), then ONE batched predictor
-        // call for the whole window instead of per-job scalar calls.
-        std::vector<RunningJob*> reserved;
-        reserved.reserve(running.size());
-        predict::VectorBatchRequest request;
-        for (RunningJob& rj : running) {
-          if (rj.kind != sched::AllocationKind::kReserved) continue;
-          reserved.push_back(&rj);
-          request.histories.push_back(&rj.unused_history);
-        }
-        if (faults_on) {
-          request.faults.reserve(reserved.size());
-          for (const RunningJob* rj : reserved) {
-            predict::InjectedFaultVector injected{};
-            for (std::size_t r = 0; r < kNumResources; ++r) {
-              injected[r] = static_cast<predict::InjectedFault>(
-                  injector.predictor_fault(rj->job->id, t, r));
-            }
-            request.faults.push_back(injected);
-          }
-        }
-        if (predict_pool_ == nullptr && params.threads != 1 &&
-            reserved.size() >= dnn::kForwardBatchShardMinRows) {
-          predict_pool_ =
-              std::make_unique<util::ThreadPool>(params.threads);
-        }
-        request.pool = predict_pool_.get();
-        const std::vector<ResourceVector> fractions =
-            predictor_->predict_batch(request);
-
-        // Pass 3 — scatter forecasts back into the per-(job, window)
-        // caches and pledge bookkeeping, in the same roster order.
-        for (std::size_t i = 0; i < reserved.size(); ++i) {
-          RunningJob& rj = *reserved[i];
-          const ResourceVector& fraction = fractions[i];
-          for (std::size_t r = 0; r < kNumResources; ++r) {
-            rj.cached_prediction[r] =
-                std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];
-          }
-          rj.has_cached_prediction = true;
-          // Pledge a forecast into the Eq. 20/21 error accounting only
-          // once the job has a full window of real history behind it;
-          // scoring cold-start guesses would poison the gate with errors
-          // no amount of prediction skill can remove.
-          if (!rj.pending_prediction.has_value()) {
-            if (rj.unused_history[0].size() >= L) {
-              rj.pending_prediction = fraction;
-              rj.slots_since_prediction = 0;
-            }
-          } else {
-            ++rj.slots_since_prediction;
-          }
-        }
-      } else if ((t + 1) % static_cast<std::int64_t>(L) == 0) {
-        // Demand-based methods re-size reservations once per window.
-        for (RunningJob& rj : running) {
-          if (rj.kind != sched::AllocationKind::kReserved) continue;
-          const ResourceVector target = scheduler_->reprovision(
-              *rj.job, rj.demand_history, rj.allocated);
-          auto& vm = cluster.vm(rj.vm_id);
-          const ResourceVector grow =
-              (target - rj.allocated).clamped_non_negative();
-          const ResourceVector shrink =
-              (rj.allocated - target).clamped_non_negative();
-          const ResourceVector granted_grow =
-              ResourceVector::min(grow, vm.unallocated());
-          vm.commit(granted_grow);
-          vm.release(shrink);
-          rj.allocated += granted_grow;
-          rj.allocated -= shrink;
-          rj.allocated = rj.allocated.clamped_non_negative();
-        }
-      }
-      const double predict_ms = elapsed_ms(start);
-      compute_ms += predict_ms;
-      if (m_predict_phase != nullptr) m_predict_phase->add(predict_ms);
-    }
-
-    if (config_.record_timeline) {
-      TimelineSample sample;
-      sample.slot = t;
-      for (const RunningJob& rj : running) {
-        if (rj.kind == sched::AllocationKind::kReserved) {
-          ++sample.running_reserved;
-        } else {
-          ++sample.running_opportunistic;
-        }
-      }
-      sample.queued = queue.size();
-      sample.overall_utilization =
-          cluster::overall_utilization(samples, params.weights);
-      double committed = 0.0, capacity = 0.0;
-      for (std::size_t r = 0; r < kNumResources; ++r) {
-        committed += params.weights.w[r] * cluster.total_committed()[r];
-        capacity += params.weights.w[r] * cluster.total_capacity()[r];
-      }
-      sample.committed_fraction = capacity > 0.0 ? committed / capacity : 0.0;
-      sample.completions = slo.completed() - completed_before;
-      sample.violations = slo.violations() - violations_before;
-      result.timeline.add(sample);
-    }
-
-    // --- 6. termination ---------------------------------------------------
-    const bool drained = queue.empty() && running.empty() &&
-                         retries.empty() && next_arrival == jobs.size();
-    if (drained || t >= max_slot) {
-      result.slots_simulated = t + 1;
-      if (!drained) {
-        // Force-complete stragglers as violations.
-        for (const RunningJob& rj : running) {
-          const auto response =
-              static_cast<std::size_t>(t - rj.submit_slot + 1);
-          slo.record(rj.job->id, rj.job->duration_slots, response,
-                     static_cast<double>(rj.job->duration_slots) *
-                             rj.job->slo_stretch +
-                         params.slo_slack_slots);
-          ++result.jobs_forced;
-        }
-        for (const Job* job : queue) {
-          const auto response =
-              static_cast<std::size_t>(t - job->submit_slot + 1);
-          slo.record(job->id, job->duration_slots, response,
-                     static_cast<double>(job->duration_slots) *
-                             job->slo_stretch +
-                         params.slo_slack_slots);
-          ++result.jobs_forced;
-        }
-        for (const PendingRetry& pr : retries) {
-          const auto response =
-              static_cast<std::size_t>(t - pr.job->submit_slot + 1);
-          slo.record(pr.job->id, pr.job->duration_slots, response,
-                     static_cast<double>(pr.job->duration_slots) *
-                             pr.job->slo_stretch +
-                         params.slo_slack_slots);
-          ++result.jobs_forced;
-        }
-      }
-      break;
-    }
-  }
-
-  for (std::size_t r = 0; r < kNumResources; ++r) {
-    const auto kind = static_cast<trace::ResourceKind>(r);
-    result.mean_utilization[r] = metrics.mean_utilization(kind);
-    result.mean_wastage[r] = metrics.mean_wastage(kind);
-  }
-  result.overall_utilization = metrics.mean_overall_utilization();
-  result.overall_wastage = metrics.mean_overall_wastage();
-  result.slo_violation_rate = slo.violation_rate();
-  result.mean_stretch = slo.mean_stretch();
-  result.jobs_completed = slo.completed();
-  result.jobs_violated = slo.violations();
-  result.degradation_tier = static_cast<int>(predictor_->tier());
-  result.compute_latency_ms = compute_ms;
-  result.total_latency_ms = compute_ms + comm_us / 1000.0;
-  if (obs_on) {
-    reg.counter("sim.runs").add(1);
-    reg.counter("sim.opportunistic_placements")
-        .add(result.opportunistic_placements);
-    reg.counter("sim.reserved_placements").add(result.reserved_placements);
-    reg.counter("sim.jobs_completed").add(result.jobs_completed);
-    reg.counter("sim.jobs_violated").add(result.jobs_violated);
-    reg.histogram("sim.run_latency_ms").observe(result.total_latency_ms);
-  }
-  return result;
+  ShardEngine engine(config_, *predictor_, *scheduler_, pool_);
+  return engine.run(trace);
 }
 
 }  // namespace corp::sim

@@ -21,6 +21,12 @@
 //   5. every L slots the method's per-job unused-resource predictions are
 //      refreshed (feeding the Eq. 20/21 error trackers), and demand-based
 //      methods re-size reservations via Scheduler::reprovision().
+//
+// The slot loop itself lives in ShardEngine (sim/shard_engine.hpp): VM,
+// telemetry and running-job state is partitioned into Params::shards
+// contiguous blocks whose per-slot walks fan out on a worker pool, with
+// cross-shard effects merged deterministically at slot barriers. Results
+// are bit-identical across shard and thread counts.
 #pragma once
 
 #include <array>
@@ -135,32 +141,13 @@ class Simulation {
   sched::Scheduler& scheduler() { return *scheduler_; }
 
  private:
-  struct RunningJob {
-    const trace::Job* job = nullptr;
-    std::uint32_t vm_id = 0;
-    sched::AllocationKind kind = sched::AllocationKind::kReserved;
-    trace::ResourceVector allocated;
-    double progress = 0.0;
-    std::int64_t submit_slot = 0;
-    sched::DemandHistory demand_history;
-    std::array<std::vector<double>, trace::kNumResources> unused_history;
-    /// Normalized (fraction-space) forecast awaiting its Eq. 20 outcome.
-    std::optional<trace::ResourceVector> pending_prediction;
-    std::size_t slots_since_prediction = 0;
-    /// Latest per-window unused forecast, aggregated into the VM view.
-    trace::ResourceVector cached_prediction;
-    bool has_cached_prediction = false;
-    /// Consecutive slots an opportunistic tenant made ~no progress.
-    std::size_t starved_slots = 0;
-  };
-
   SimulationConfig config_;
   std::unique_ptr<predict::VectorPredictor> predictor_;
   std::unique_ptr<sched::Scheduler> scheduler_;
-  /// Lazily created worker pool sharding batched-prediction rows (behind
-  /// Params::threads); never built for runs whose windows stay below the
-  /// dnn sharding threshold, so small simulations spawn no threads.
-  std::unique_ptr<util::ThreadPool> predict_pool_;
+  /// Lazily created worker pool, shared by the sharded slot loop and the
+  /// batched-prediction GEMM (behind Params::threads); never built for
+  /// runs that stay serial, so small simulations spawn no threads.
+  std::unique_ptr<util::ThreadPool> pool_;
   bool trained_ = false;
 };
 

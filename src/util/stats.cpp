@@ -134,6 +134,27 @@ double mean_of(std::span<const double> xs) {
   return s / static_cast<double>(xs.size());
 }
 
+double tail_mean(std::span<const double> series, std::size_t n) {
+  if (series.empty()) return 0.0;
+  const std::size_t take = std::min(n, series.size());
+  const std::size_t window_begin = series.size() - take;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = window_begin; i < series.size(); ++i) {
+    if (!std::isfinite(series[i])) continue;
+    sum += series[i];
+    ++counted;
+  }
+  if (counted > 0) return sum / static_cast<double>(counted);
+  // All-gap window: the last finite sample before the window is the best
+  // available estimate of the signal (last-observation-carried-forward,
+  // matching predict::impute_gaps).
+  for (std::size_t i = window_begin; i-- > 0;) {
+    if (std::isfinite(series[i])) return series[i];
+  }
+  return 0.0;
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) {
   if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
   const double mx = mean_of(xs);

@@ -72,6 +72,16 @@ double z_half_alpha(double theta);
 /// Mean of a span (0 for empty spans).
 double mean_of(std::span<const double> xs);
 
+/// Mean of the last `n` entries of a series (whole series if shorter),
+/// skipping non-finite entries (telemetry-gap markers). When the window
+/// holds no finite sample — a full telemetry outage — the result falls
+/// back to the most recent finite sample before the window: "we heard
+/// nothing" must stay distinguishable from "demand was genuinely zero",
+/// or downstream consumers (the Eq. 20/21 gate) read an outage as free
+/// capacity and over-commit. Returns 0 only when the series never held a
+/// finite sample at all.
+double tail_mean(std::span<const double> series, std::size_t n);
+
 /// Pearson correlation of two equal-length spans; 0 when undefined.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 

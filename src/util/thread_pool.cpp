@@ -58,7 +58,25 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first task exception
+  // Every future must be drained before any exception escapes: the tasks
+  // capture `begin`/`end`/`&body` from THIS stack frame, so rethrowing on
+  // the first failed get() while later chunks are still queued would let
+  // workers run tasks whose captured references point into a dead frame.
+  // The first chunk's exception (lowest begin index — deterministic) is
+  // rethrown once everything has settled.
+  std::exception_ptr first_failure;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_failure == nullptr) {
+        first_failure = std::current_exception();
+      }
+    }
+  }
+  if (first_failure != nullptr) {
+    std::rethrow_exception(first_failure);
+  }
 }
 
 }  // namespace corp::util

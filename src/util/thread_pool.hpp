@@ -56,6 +56,9 @@ class ThreadPool {
 
   /// Runs body(i) for i in [0, n), blocking until all iterations finish.
   /// Iterations are distributed in contiguous chunks to limit contention.
+  /// When one or more iterations throw, every chunk is still drained
+  /// (tasks reference this call's stack frame) and the exception of the
+  /// lowest-indexed failing chunk is rethrown afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:

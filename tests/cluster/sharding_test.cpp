@@ -1,0 +1,86 @@
+// ShardPlan: deterministic contiguous partitions of the VM table, safe on
+// every degenerate shape (zero VMs, one VM, more shards than VMs).
+#include "cluster/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+
+namespace corp::cluster {
+namespace {
+
+TEST(ShardPlanTest, PartitionsAreContiguousAndExhaustive) {
+  for (const std::size_t num_vms : {1UL, 7UL, 100UL, 1024UL}) {
+    for (const std::size_t shards : {1UL, 2UL, 3UL, 16UL}) {
+      const ShardPlan plan(num_vms, shards);
+      SCOPED_TRACE("vms=" + std::to_string(num_vms) +
+                   " shards=" + std::to_string(shards));
+      std::uint32_t next = 0;
+      for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+        const ShardRange range = plan.range(s);
+        EXPECT_EQ(range.begin, next);
+        EXPECT_FALSE(range.empty());
+        next = range.end;
+        for (std::uint32_t v = range.begin; v < range.end; ++v) {
+          EXPECT_EQ(plan.shard_of(v), s);
+        }
+      }
+      EXPECT_EQ(next, num_vms);
+    }
+  }
+}
+
+TEST(ShardPlanTest, BlockSizesDifferByAtMostOne) {
+  const ShardPlan plan(103, 16);
+  std::size_t min_size = 103, max_size = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    min_size = std::min(min_size, plan.range(s).size());
+    max_size = std::max(max_size, plan.range(s).size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ShardPlanTest, ZeroVmsYieldsOneEmptyShard) {
+  const ShardPlan plan(0, 8);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_TRUE(plan.range(0).empty());
+}
+
+TEST(ShardPlanTest, RequestsClampIntoValidRange) {
+  // 0 shards -> 1; more shards than VMs -> one VM per shard.
+  EXPECT_EQ(ShardPlan(10, 0).num_shards(), 1u);
+  const ShardPlan plan(3, 64);
+  EXPECT_EQ(plan.num_shards(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(plan.range(s).size(), 1u);
+  }
+}
+
+TEST(ShardPlanTest, OutOfRangeQueriesThrow) {
+  const ShardPlan plan(10, 4);
+  EXPECT_THROW(plan.range(4), std::out_of_range);
+  EXPECT_THROW(plan.shard_of(10), std::out_of_range);
+  EXPECT_THROW(ShardPlan(0, 1).shard_of(0), std::out_of_range);
+}
+
+TEST(ShardPlanTest, ClusterBlocksRoundTripThroughSpans) {
+  EnvironmentConfig env = EnvironmentConfig::PalmettoCluster();
+  Cluster cluster(env);  // 100 VMs
+  const ShardPlan plan = cluster.shard_plan(7);
+  std::size_t seen = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    const auto block = cluster.vm_block(plan.range(s));
+    EXPECT_EQ(block.size(), plan.range(s).size());
+    for (const auto& vm : block) {
+      EXPECT_EQ(vm.id(), seen);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, cluster.num_vms());
+}
+
+}  // namespace
+}  // namespace corp::cluster

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -168,6 +169,32 @@ TEST(ErrorMetricsTest, RmseAndMae) {
 TEST(ErrorMetricsTest, MismatchedSizesReturnZero) {
   EXPECT_DOUBLE_EQ(rmse(std::vector<double>{1.0}, std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(mae(std::vector<double>{1.0}, std::vector<double>{}), 0.0);
+}
+
+TEST(TailMeanTest, MeansTheLastNEntries) {
+  const std::vector<double> series{10.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(tail_mean(series, 3), 2.0);
+  EXPECT_DOUBLE_EQ(tail_mean(series, 100), 4.0);  // whole series
+  EXPECT_DOUBLE_EQ(tail_mean(std::vector<double>{}, 3), 0.0);
+}
+
+TEST(TailMeanTest, SkipsGapMarkersInsideTheWindow) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> series{9.0, 2.0, nan, 4.0};
+  EXPECT_DOUBLE_EQ(tail_mean(series, 3), 3.0);
+}
+
+TEST(TailMeanTest, AllGapWindowFallsBackToLastFiniteSample) {
+  // Regression: an all-gap window used to return 0.0 — indistinguishable
+  // from "demand was genuinely zero", so a telemetry outage read as free
+  // capacity and biased the Eq. 20/21 gate toward over-committing. The
+  // last finite observation before the window must carry forward instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> series{0.2, 0.7, nan, nan, nan};
+  EXPECT_DOUBLE_EQ(tail_mean(series, 3), 0.7);
+  // Only a series that never held a finite sample at all reads as zero.
+  const std::vector<double> all_gap{nan, nan, nan};
+  EXPECT_DOUBLE_EQ(tail_mean(all_gap, 2), 0.0);
 }
 
 // Property: z_half_alpha over the Table II significance range is finite

@@ -74,6 +74,56 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughParallelFor) {
                std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForDrainsAllChunksWhenOneThrows) {
+  // Regression: parallel_for used to rethrow on the first failing future
+  // and abandon the rest, while still-queued chunks held references to
+  // this frame's locals (`hits` below) — a use-after-return once the
+  // caller unwound. The fix drains every future before rethrowing, so
+  // after the throw every non-throwing iteration must have run exactly
+  // once and nothing may touch the frame afterwards (ASan/TSan-visible).
+  ThreadPool pool(4);
+  constexpr std::size_t kIters = 512;
+  std::vector<std::atomic<int>> hits(kIters);
+  std::atomic<int> throws{0};
+  EXPECT_THROW(pool.parallel_for(kIters,
+                                 [&](std::size_t i) {
+                                   if (i == 3) {
+                                     ++throws;
+                                     throw std::runtime_error("mid-chunk");
+                                   }
+                                   ++hits[i];
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(throws.load(), 1);
+  EXPECT_EQ(hits[3].load(), 0);
+  // Iterations after the throw in the SAME chunk are legitimately skipped
+  // (a chunk runs sequentially); every other chunk must have completed by
+  // the time the exception escapes. Chunks here are ceil(512/16) = 32
+  // wide, so everything from index 32 on belongs to a non-throwing chunk.
+  for (std::size_t i = 32; i < kIters; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexedFailure) {
+  // With several failing chunks the exception of the lowest-indexed one
+  // wins, deterministically, regardless of completion order.
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      pool.parallel_for(400, [](std::size_t i) {
+        if (i == 17) throw std::runtime_error("first");
+        if (i >= 300) throw std::logic_error("later");
+      });
+      FAIL() << "parallel_for did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first");
+    } catch (const std::logic_error&) {
+      FAIL() << "later chunk's exception won over the first chunk's";
+    }
+  }
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<int> counter{0};

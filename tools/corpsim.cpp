@@ -8,6 +8,8 @@
 //   corpsim help       this text
 //
 // Common flags: --env cluster|ec2, --jobs N, --seed S, --threads T,
+//               --shards K (slot-engine shards; 0 = one per thread,
+//               bit-identical for every value),
 //               --workload paper-sweep|burst|trickle|heavy-tail|mixed-services,
 //               --aggressiveness A (0..1), --method corp|rccr|cloudscale|dra,
 //               --metrics-out PATH (append obs snapshot as JSON lines),
@@ -56,6 +58,11 @@ subcommands:
 workload kinds: paper-sweep (default), burst, trickle, heavy-tail,
                 mixed-services
 
+scaling (docs/scaling.md): run/compare/replicate/backtest accept
+  --shards K           slot-engine shards (default 1; 0 = one shard per
+                       worker thread); results are bit-identical for
+                       every K, so this is purely a throughput knob
+
 fault injection (docs/resilience.md): run/compare/replicate accept
   --fault-intensity A  canonical fault mix at intensity A in [0, 1]
                        (VM crashes, telemetry gaps, stragglers, poisoned
@@ -83,7 +90,8 @@ observability (docs/observability.md): any subcommand accepts
 /// Flags every subcommand understands.
 const std::vector<std::string> kCommonFlags{
     "env",          "jobs",        "seed",
-    "threads",      "workload",    "aggressiveness",
+    "threads",      "shards",      "workload",
+    "aggressiveness",
     "metrics-out",  "metrics-csv", "no-metrics",
     "fault-intensity", "vm-mttf",  "vm-mttr",
     "gap-rate",     "gap-mean",    "straggler-rate",
@@ -199,6 +207,7 @@ RunSetup setup_from(const util::ArgParser& args) {
   setup.jobs = static_cast<std::size_t>(jobs);
   setup.aggressiveness = get_probability(args, "aggressiveness", 0.35);
   setup.experiment.params.threads = args.get_size("threads", 0);
+  setup.experiment.params.shards = args.get_size("shards", 1);
   setup.experiment.faults = faults_from(args);
   return setup;
 }

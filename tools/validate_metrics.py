@@ -23,6 +23,8 @@ Checks per record:
     (overflow) entry, is monotone non-decreasing, and ends at `count`
   * --require-phases: each comma-separated prefix matches >= 1 phase
   * --require-counters: each comma-separated prefix matches >= 1 counter
+    or gauge (float-valued headline metrics such as sim.slots_per_second
+    live in the gauges map; the gate treats both maps as one namespace)
 
 Only the Python standard library is used.
 """
@@ -168,12 +170,19 @@ def check_record(where: str, record: object,
             fail(where, f"no phase matches required prefix {prefix!r} "
                         f"(have: {', '.join(sorted(phase_names))})")
     counters = metrics["counters"]
+    gauges = metrics["gauges"]
     assert isinstance(counters, dict)  # narrowed by check_counters
-    counter_names = [str(name) for name in counters]
+    assert isinstance(gauges, dict)  # narrowed by check_gauges
+    # Counters and gauges share one name namespace for gating purposes:
+    # integer tallies land in counters, float headline metrics (rates,
+    # speedups) in gauges, and a gate prefix may match either.
+    metric_names = [str(name) for name in counters]
+    metric_names += [str(name) for name in gauges]
     for prefix in require_counters:
-        if not any(name.startswith(prefix) for name in counter_names):
-            fail(where, f"no counter matches required prefix {prefix!r} "
-                        f"(have: {', '.join(sorted(counter_names))})")
+        if not any(name.startswith(prefix) for name in metric_names):
+            fail(where, f"no counter or gauge matches required prefix "
+                        f"{prefix!r} "
+                        f"(have: {', '.join(sorted(metric_names))})")
 
 
 def validate_file(path: str, require_phases: Sequence[str],
@@ -205,7 +214,8 @@ def main() -> int:
         help="comma-separated phase-name prefixes each record must cover")
     parser.add_argument(
         "--require-counters", default="",
-        help="comma-separated counter-name prefixes each record must cover")
+        help="comma-separated counter/gauge-name prefixes each record "
+             "must cover")
     args = parser.parse_args()
     require_phases = [p for p in args.require_phases.split(",") if p]
     require_counters = [p for p in args.require_counters.split(",") if p]
