@@ -6,20 +6,45 @@
 namespace corp::cluster {
 
 Cluster::Cluster(const EnvironmentConfig& env) : env_(env) {
-  pms_.reserve(env.num_pms);
   vms_.reserve(env.total_vms());
-  const ResourceVector vm_cap = env.vm_capacity();
   std::uint32_t vm_id = 0;
-  for (std::size_t p = 0; p < env.num_pms; ++p) {
-    PhysicalMachine pm;
-    pm.id = static_cast<std::uint32_t>(p);
-    pm.capacity = env.pm_capacity;
-    for (std::size_t v = 0; v < env.vms_per_pm; ++v) {
-      pm.vm_ids.push_back(vm_id);
-      vms_.emplace_back(vm_id, pm.id, vm_cap);
-      ++vm_id;
+  std::uint32_t pm_id = 0;
+  if (!env.heterogeneous()) {
+    pms_.reserve(env.num_pms);
+    const ResourceVector vm_cap = env.vm_capacity();
+    for (std::size_t p = 0; p < env.num_pms; ++p) {
+      PhysicalMachine pm;
+      pm.id = pm_id++;
+      pm.capacity = env.pm_capacity;
+      for (std::size_t v = 0; v < env.vms_per_pm; ++v) {
+        pm.vm_ids.push_back(vm_id);
+        vms_.emplace_back(vm_id, pm.id, vm_cap);
+        ++vm_id;
+      }
+      pms_.push_back(std::move(pm));
     }
-    pms_.push_back(std::move(pm));
+    return;
+  }
+  // Heterogeneous: partitions build in declaration order, so each node
+  // class owns a contiguous VM-id range (shard blocks and partition
+  // ranges then compose cleanly).
+  vm_partition_.reserve(env.total_vms());
+  for (std::size_t c = 0; c < env.partitions.size(); ++c) {
+    const NodeClass& partition = env.partitions[c];
+    const ResourceVector vm_cap = partition.vm_capacity();
+    for (std::size_t p = 0; p < partition.num_pms; ++p) {
+      PhysicalMachine pm;
+      pm.id = pm_id++;
+      pm.capacity = partition.pm_capacity;
+      pm.partition = static_cast<std::uint32_t>(c);
+      for (std::size_t v = 0; v < partition.vms_per_pm; ++v) {
+        pm.vm_ids.push_back(vm_id);
+        vms_.emplace_back(vm_id, pm.id, vm_cap);
+        vm_partition_.push_back(static_cast<std::uint32_t>(c));
+        ++vm_id;
+      }
+      pms_.push_back(std::move(pm));
+    }
   }
 }
 
@@ -49,6 +74,20 @@ ResourceVector Cluster::max_vm_capacity() const {
     c = ResourceVector::max(c, vm.capacity());
   }
   return c;
+}
+
+std::size_t Cluster::num_partitions() const {
+  return env_.heterogeneous() ? env_.partitions.size() : 1;
+}
+
+std::uint32_t Cluster::vm_partition(std::size_t vm_id) const {
+  if (vm_partition_.empty()) return 0;
+  return vm_partition_.at(vm_id);
+}
+
+std::size_t Cluster::partition_reserved_cap(std::size_t partition) const {
+  if (!env_.heterogeneous()) return 0;
+  return env_.partitions.at(partition).max_reserved_jobs;
 }
 
 ResourceVector Cluster::total_committed() const {

@@ -17,6 +17,8 @@ struct PhysicalMachine {
   std::uint32_t id = 0;
   ResourceVector capacity;
   std::vector<std::uint32_t> vm_ids;
+  /// Owning partition (node class) index; 0 for homogeneous clusters.
+  std::uint32_t partition = 0;
 };
 
 class Cluster {
@@ -48,6 +50,17 @@ class Cluster {
   /// normalizer for the unused resource volume).
   ResourceVector max_vm_capacity() const;
 
+  /// Number of node classes (1 for a homogeneous environment).
+  std::size_t num_partitions() const;
+
+  /// Partition index owning a VM (0 everywhere when homogeneous). VM ids
+  /// are assigned partition by partition, so each partition is a
+  /// contiguous VM range.
+  std::uint32_t vm_partition(std::size_t vm_id) const;
+
+  /// Reserved-job admission cap of a partition (0 = unlimited).
+  std::size_t partition_reserved_cap(std::size_t partition) const;
+
   /// Total committed resource across all VMs (Eq. 1-4 denominators).
   ResourceVector total_committed() const;
 
@@ -61,6 +74,8 @@ class Cluster {
   EnvironmentConfig env_;
   std::vector<PhysicalMachine> pms_;
   std::vector<VirtualMachine> vms_;
+  /// Per-VM partition index; empty for homogeneous environments (all 0).
+  std::vector<std::uint32_t> vm_partition_;
 };
 
 }  // namespace corp::cluster

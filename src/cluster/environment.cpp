@@ -2,9 +2,35 @@
 
 namespace corp::cluster {
 
-trace::ResourceVector EnvironmentConfig::vm_capacity() const {
-  const double inv = 1.0 / static_cast<double>(vms_per_pm);
+trace::ResourceVector NodeClass::vm_capacity() const {
+  const double inv =
+      vms_per_pm > 0 ? 1.0 / static_cast<double>(vms_per_pm) : 0.0;
   return pm_capacity * inv;
+}
+
+std::size_t EnvironmentConfig::total_vms() const {
+  if (!heterogeneous()) return num_pms * vms_per_pm;
+  std::size_t total = 0;
+  for (const NodeClass& partition : partitions) {
+    total += partition.total_vms();
+  }
+  return total;
+}
+
+trace::ResourceVector EnvironmentConfig::vm_capacity() const {
+  if (!heterogeneous()) {
+    const double inv = 1.0 / static_cast<double>(vms_per_pm);
+    return pm_capacity * inv;
+  }
+  trace::ResourceVector smallest;
+  bool first = true;
+  for (const NodeClass& partition : partitions) {
+    if (partition.total_vms() == 0) continue;
+    const trace::ResourceVector cap = partition.vm_capacity();
+    smallest = first ? cap : trace::ResourceVector::min(smallest, cap);
+    first = false;
+  }
+  return smallest;
 }
 
 EnvironmentConfig EnvironmentConfig::PalmettoCluster() {
@@ -24,6 +50,34 @@ EnvironmentConfig EnvironmentConfig::AmazonEc2() {
   env.vms_per_pm = 1;  // "each node is simulated as a VM"
   env.pm_capacity = trace::ResourceVector(2.0, 4.0, 720.0);
   env.comm_overhead_us = 400.0;
+  return env;
+}
+
+EnvironmentConfig EnvironmentConfig::SlurmHeterogeneous() {
+  EnvironmentConfig env;
+  env.name = "slurm-heterogeneous";
+  env.comm_overhead_us = 50.0;
+  // Partition layout modeled on a typical SLURM site config: a
+  // general-compute partition, a fat-memory partition with fewer, larger
+  // nodes, and a small burst partition whose admission is capped so the
+  // scheduler must spill work onto the other classes.
+  NodeClass compute;
+  compute.name = "compute";
+  compute.num_pms = 32;
+  compute.vms_per_pm = 2;
+  compute.pm_capacity = trace::ResourceVector(16.0, 64.0, 720.0);
+  NodeClass bigmem;
+  bigmem.name = "bigmem";
+  bigmem.num_pms = 8;
+  bigmem.vms_per_pm = 1;
+  bigmem.pm_capacity = trace::ResourceVector(32.0, 256.0, 1440.0);
+  NodeClass burst;
+  burst.name = "burst";
+  burst.num_pms = 10;
+  burst.vms_per_pm = 4;
+  burst.pm_capacity = trace::ResourceVector(8.0, 16.0, 360.0);
+  burst.max_reserved_jobs = 48;
+  env.partitions = {compute, bigmem, burst};
   return env;
 }
 

@@ -11,10 +11,33 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "trace/resources.hpp"
 
 namespace corp::cluster {
+
+/// One SLURM-partition-style node class of a heterogeneous cluster: a
+/// block of identical PMs with their own capacities, VM carve and
+/// admission limit. VM ids are assigned partition by partition, in
+/// declaration order, so each partition is a contiguous VM range.
+struct NodeClass {
+  std::string name;
+  std::size_t num_pms = 0;
+  std::size_t vms_per_pm = 1;
+  /// Per-PM capacity of this class: CPU cores, MEM GB, storage GB.
+  trace::ResourceVector pm_capacity;
+  /// Cap on concurrently *reserved* jobs hosted across this partition's
+  /// VMs (SLURM MaxJobs-style partition limit). 0 = unlimited.
+  /// Opportunistic leases and in-place promotions are not admissions and
+  /// bypass the cap.
+  std::size_t max_reserved_jobs = 0;
+
+  std::size_t total_vms() const { return num_pms * vms_per_pm; }
+
+  /// Capacity of each VM (even carve of the PM).
+  trace::ResourceVector vm_capacity() const;
+};
 
 struct EnvironmentConfig {
   std::string name;
@@ -27,10 +50,19 @@ struct EnvironmentConfig {
   /// Modeled communication overhead added per allocation decision, in
   /// microseconds. EC2's control-plane round trips dominate this.
   double comm_overhead_us = 50.0;
+  /// Heterogeneous node classes. Empty (the default) keeps the legacy
+  /// homogeneous layout above — bit-identical to every pre-partition
+  /// build; non-empty overrides num_pms/vms_per_pm/pm_capacity entirely.
+  std::vector<NodeClass> partitions;
 
-  std::size_t total_vms() const { return num_pms * vms_per_pm; }
+  bool heterogeneous() const { return !partitions.empty(); }
 
-  /// Capacity of each VM (even carve of the PM).
+  std::size_t total_vms() const;
+
+  /// Capacity of each VM (even carve of the PM). For a heterogeneous
+  /// environment this is the component-wise *minimum* VM capacity across
+  /// partitions — the conservative sizing bound workload generators use
+  /// so synthetic requests fit every node class.
   trace::ResourceVector vm_capacity() const;
 
   /// Palmetto real-cluster testbed: 50 HP SL230 servers (16 cores, 64 GB,
@@ -40,6 +72,13 @@ struct EnvironmentConfig {
   /// Amazon EC2 testbed: 30 ProLiant ML110 G5-class nodes (2 cores, 4 GB,
   /// 720 GB), each node one VM, higher comm overhead.
   static EnvironmentConfig AmazonEc2();
+
+  /// Mixed-capacity cluster in the style of a SLURM partition config:
+  /// a big-memory partition, a general compute partition, and a small
+  /// capped burst partition. Packing and most-matched VM selection face
+  /// non-uniform capacity; the burst partition exercises the
+  /// max_reserved_jobs admission limit.
+  static EnvironmentConfig SlurmHeterogeneous();
 };
 
 }  // namespace corp::cluster

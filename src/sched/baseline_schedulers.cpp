@@ -24,7 +24,11 @@ std::vector<PlacementDecision> place_randomly(
     if (use_opportunistic && vm.unlocked) {
       opportunistic.push_back({vm.vm_id, vm.predicted_unused});
     }
-    fresh.push_back({vm.vm_id, vm.unallocated});
+    // Reserved-admission caps (heterogeneous partitions) exclude a VM
+    // from fresh reservations but not from the opportunistic pool.
+    if (vm.accepts_reserved) {
+      fresh.push_back({vm.vm_id, vm.unallocated});
+    }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {

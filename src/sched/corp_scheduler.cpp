@@ -43,7 +43,11 @@ std::vector<PlacementDecision> CorpScheduler::place(
       opportunistic.push_back(
           {vm.vm_id, vm.predicted_unused * config_.pool_safety});
     }
-    fresh.push_back({vm.vm_id, vm.unallocated});
+    // Partition admission caps gate *new* reservations only; the
+    // opportunistic pool above stays available on capped partitions.
+    if (vm.accepts_reserved) {
+      fresh.push_back({vm.vm_id, vm.unallocated});
+    }
   }
 
   for (const JobEntity& entity : entities) {

@@ -77,6 +77,11 @@ struct Params {
   /// Fanning out needs a resolved worker count > 1; on a single-core
   /// host the engine stays inline-serial regardless of this value.
   std::size_t shards = 1;
+  /// Chunk size (KiB) of the streaming trace ingester: parse-work unit
+  /// and determinism boundary of trace::StreamReader. Purely a
+  /// throughput/footprint knob — results are bit-identical for every
+  /// value (pinned by tests/trace/stream_reader_test).
+  std::size_t ingest_chunk_kb = 4096;
 
   /// Builds the default per-type prediction StackConfig.
   predict::StackConfig stack_config() const;

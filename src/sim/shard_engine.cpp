@@ -100,6 +100,9 @@ struct Shard {
   // per-VM accumulation order is the shard-roster seq order).
   std::vector<ResourceVector> vm_consumed;
   std::vector<ResourceVector> vm_opp_want;
+  // Shard-local reserved-job tally per partition (heterogeneous caps);
+  // merged serially at the barrier with commutative integer adds.
+  std::vector<std::size_t> partition_reserved;
   // --- barrier staging -------------------------------------------------
   std::vector<SlotEvent> events;
   std::vector<std::size_t> matured;           // job indices, seq order
@@ -153,6 +156,11 @@ ShardEngine::ShardEngine(const SimulationConfig& config,
       pool_slot_(pool_slot) {}
 
 SimulationResult ShardEngine::run(const trace::Trace& trace) {
+  TraceJobSource source(trace);
+  return run(source);
+}
+
+SimulationResult ShardEngine::run(JobSource& source) {
   const obs::ScopedTimer run_timer("sim.run");
   // Metric handles hoisted out of the slot loop: the per-slot cost is a
   // handful of relaxed atomic adds when enabled, a null check when not.
@@ -225,10 +233,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
   result.method = config_.method;
 
   std::deque<const Job*> queue;
-  const auto& jobs = trace.jobs();
-  std::size_t next_arrival = 0;
-  const std::int64_t horizon = trace.horizon_slots();
-  const std::int64_t max_slot = horizon + config_.grace_slots;
+  std::vector<const Job*> arrivals;  // poll buffer, reused across slots
 
   double compute_ms = 0.0;
   double comm_us = 0.0;
@@ -238,10 +243,13 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
   // Fault injection. The oracle hangs off its own derived seed stream and
   // with all rates zero is inert: none of the `faults_on` branches below
   // execute, no randomness is drawn, and the run is bit-identical to a
-  // build without the subsystem.
+  // build without the subsystem. The crash plan spans the horizon known
+  // at entry: exact for a materialized trace; for a streaming source
+  // (horizon discovered incrementally) VM-crash schedules only cover the
+  // initially-known span, so fault studies should materialize first.
   fault::FaultInjector injector(
       config_.faults, util::derive_seed(config_.seed, util::seed_stream::kFault),
-      cluster.num_vms(), max_slot + 1);
+      cluster.num_vms(), source.horizon_slots() + config_.grace_slots + 1);
   const bool faults_on = injector.enabled();
   obs::Counter* m_vm_crashes =
       obs_on && faults_on ? &reg.counter("fault.vm_crashes") : nullptr;
@@ -270,6 +278,18 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
   // construction before any shard can start filling. Each shard fully
   // overwrites its own slice below, so reuse is safe.
   std::vector<sched::VmView> views(cluster.num_vms());
+
+  // Heterogeneous partition admission caps: active only when some node
+  // class limits its concurrently reserved jobs. Counts are recomputed
+  // from the shard rosters every placement slot (no incremental counter
+  // to race with parallel completions), merged serially below.
+  const std::size_t num_partitions = cluster.num_partitions();
+  bool partition_caps = false;
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    if (cluster.partition_reserved_cap(p) > 0) partition_caps = true;
+  }
+  std::vector<std::size_t> partition_reserved(num_partitions, 0);
+  std::vector<std::uint8_t> partition_open(num_partitions, 1);
 
   for (std::int64_t t = 0;; ++t) {
     if (m_slots != nullptr) m_slots->add(1);
@@ -316,6 +336,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
                     params.slo_slack_slots);
             ++result.jobs_dropped;
             if (m_jobs_dropped != nullptr) m_jobs_dropped->add(1);
+            source.retire(*rj.job);
           } else {
             retries.push_back({rj.job, t + injector.retry_backoff(attempt)});
             ++result.job_retries;
@@ -335,10 +356,13 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
     }
 
     // --- 1. arrivals --------------------------------------------------
-    while (next_arrival < jobs.size() && jobs[next_arrival].submit_slot <= t) {
-      queue.push_back(&jobs[next_arrival]);
-      ++next_arrival;
-    }
+    // The source delivers this slot's jobs in (submit_slot, id) order —
+    // the same order a sorted materialized trace yields — and, for the
+    // streaming source, blocks on ingest until no late emission can still
+    // land at or before t.
+    arrivals.clear();
+    source.poll(t, arrivals);
+    for (const Job* job : arrivals) queue.push_back(job);
 
     // --- 2. placement -------------------------------------------------
     // Candidate collection and gate evaluation fan out per shard (each
@@ -359,6 +383,15 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
           views[v] = sched::VmView{};
           views[v].vm_id = cluster.vm(v).id();
           views[v].unallocated = cluster.vm(v).unallocated();
+          views[v].capacity = cluster.vm(v).capacity();
+        }
+        if (partition_caps) {
+          shard.partition_reserved.assign(num_partitions, 0);
+          for (const RunningJob& rj : shard.jobs) {
+            if (rj.kind == sched::AllocationKind::kReserved) {
+              ++shard.partition_reserved[cluster.vm_partition(rj.vm_id)];
+            }
+          }
         }
         if (!opportunistic_method) return;
         for (const RunningJob& rj : shard.jobs) {
@@ -383,6 +416,29 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
         }
       });
 
+      if (partition_caps) {
+        // Serial merge (commutative integer adds), then advertise which
+        // partitions still admit reservations via the views.
+        std::fill(partition_reserved.begin(), partition_reserved.end(),
+                  std::size_t{0});
+        for (const Shard& shard : shards) {
+          for (std::size_t p = 0; p < num_partitions; ++p) {
+            partition_reserved[p] += shard.partition_reserved[p];
+          }
+        }
+        for (std::size_t p = 0; p < num_partitions; ++p) {
+          const std::size_t cap = cluster.partition_reserved_cap(p);
+          partition_open[p] =
+              static_cast<std::uint8_t>(cap == 0 || partition_reserved[p] < cap);
+        }
+        for_each_shard([&](std::size_t s) {
+          const Shard& shard = shards[s];
+          for (std::uint32_t v = shard.vms.begin; v < shard.vms.end; ++v) {
+            views[v].accepts_reserved = partition_open[cluster.vm_partition(v)] != 0;
+          }
+        });
+      }
+
       sched::SchedulerContext ctx;
       ctx.vms = views;
       ctx.max_vm_capacity = max_vm_capacity;
@@ -400,6 +456,19 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
       std::vector<bool> placed(batch.size(), false);
       for (const auto& decision : decisions) {
         auto& vm = cluster.vm(decision.vm_id);
+        if (partition_caps &&
+            decision.kind == sched::AllocationKind::kReserved) {
+          // Hard admission check: the views advertised pre-batch counts,
+          // so a batch of reserved placements can still overrun a
+          // partition cap. Rejected members stay unplaced and requeue.
+          const std::size_t p = cluster.vm_partition(decision.vm_id);
+          const std::size_t cap = cluster.partition_reserved_cap(p);
+          if (cap > 0 &&
+              partition_reserved[p] + decision.batch_indices.size() > cap) {
+            continue;
+          }
+          partition_reserved[p] += decision.batch_indices.size();
+        }
         if (decision.kind == sched::AllocationKind::kReserved) {
           // The scheduler worked from a snapshot; clamp against the live
           // ledger to absorb floating-point dust.
@@ -642,6 +711,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
                      static_cast<double>(event.job->duration_slots) *
                              event.job->slo_stretch +
                          params.slo_slack_slots);
+          source.retire(*event.job);
         });
 
     // --- 5. predictions and re-provisioning ---------------------------
@@ -809,9 +879,15 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
     }
 
     // --- 6. termination -----------------------------------------------
+    // The grace cutoff is only meaningful relative to the *full* trace
+    // horizon, which a streaming source knows exactly once exhausted; for
+    // a materialized trace, t >= max_slot already implies every arrival
+    // was delivered, so gating the cutoff on exhaustion changes nothing.
     const bool drained = queue.empty() && total_running() == 0 &&
-                         retries.empty() && next_arrival == jobs.size();
-    if (drained || t >= max_slot) {
+                         retries.empty() && source.exhausted();
+    const std::int64_t max_slot =
+        source.horizon_slots() + config_.grace_slots;
+    if (drained || (source.exhausted() && t >= max_slot)) {
       result.slots_simulated = t + 1;
       if (!drained) {
         // Force-complete stragglers as violations, running jobs first (in
@@ -828,6 +904,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
                                  rj.job->slo_stretch +
                              params.slo_slack_slots);
               ++result.jobs_forced;
+              source.retire(*rj.job);
             });
         for (const Job* job : queue) {
           const auto response =
@@ -837,6 +914,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
                              job->slo_stretch +
                          params.slo_slack_slots);
           ++result.jobs_forced;
+          source.retire(*job);
         }
         for (const PendingRetry& pr : retries) {
           const auto response =
@@ -846,6 +924,7 @@ SimulationResult ShardEngine::run(const trace::Trace& trace) {
                              pr.job->slo_stretch +
                          params.slo_slack_slots);
           ++result.jobs_forced;
+          source.retire(*pr.job);
         }
       }
       break;

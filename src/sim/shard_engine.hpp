@@ -28,6 +28,7 @@
 
 #include "predict/vector_predictor.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/job_source.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +50,12 @@ class ShardEngine {
   /// Replays the trace to completion. Same semantics as the historical
   /// unsharded loop; see simulation.hpp for the slot mechanics.
   SimulationResult run(const trace::Trace& trace);
+
+  /// Same slot mechanics, but arrivals stream from a JobSource — the
+  /// bounded-memory path for multi-GB traces (sim/job_source.hpp). With a
+  /// TraceJobSource this is exactly run(trace); with a StreamingJobSource
+  /// the result is bit-identical to first materializing the same file.
+  SimulationResult run(JobSource& source);
 
  private:
   const SimulationConfig& config_;

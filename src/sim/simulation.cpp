@@ -143,4 +143,12 @@ SimulationResult Simulation::run(const trace::Trace& trace) {
   return engine.run(trace);
 }
 
+SimulationResult Simulation::run(JobSource& source) {
+  if (!trained_) {
+    throw std::logic_error("Simulation::run before train()");
+  }
+  ShardEngine engine(config_, *predictor_, *scheduler_, pool_);
+  return engine.run(source);
+}
+
 }  // namespace corp::sim

@@ -43,6 +43,7 @@
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/job_source.hpp"
 #include "sim/params.hpp"
 #include "sim/timeline.hpp"
 #include "trace/generator.hpp"
@@ -130,6 +131,12 @@ class Simulation {
 
   /// Runs the evaluation trace to completion. train() must have run.
   SimulationResult run(const trace::Trace& trace);
+
+  /// Streaming variant: drives the slot loop from a JobSource (e.g. a
+  /// StreamingJobSource wrapping trace::StreamReader) without ever
+  /// materializing the full trace. Bit-identical to run(trace) when the
+  /// source delivers the same jobs. train() must have run.
+  SimulationResult run(JobSource& source);
 
   const SimulationConfig& config() const { return config_; }
 

@@ -33,6 +33,9 @@ std::vector<GoogleTaskEvent> read_task_events(std::istream& in) {
   std::vector<GoogleTaskEvent> events;
   std::string line;
   std::size_t line_no = 0;
+  // Materializing reader for trimmed extracts; production volume
+  // streams through trace::StreamReader instead.
+  // lint: streaming-io -- bounded: trimmed extracts only
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -58,6 +61,9 @@ std::vector<GoogleTaskUsage> read_task_usage(std::istream& in) {
   std::vector<GoogleTaskUsage> usage;
   std::string line;
   std::size_t line_no = 0;
+  // Materializing reader for trimmed extracts; production volume
+  // streams through trace::StreamReader instead.
+  // lint: streaming-io -- bounded: trimmed extracts only
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;

@@ -46,12 +46,16 @@ inline constexpr std::uint64_t kFaultTelemetryGap = 0x54474150ULL;  // "TGAP"
 inline constexpr std::uint64_t kFaultStraggler = 0x53545247ULL;  // "STRG"
 /// Poisoned-forecast faults (fault.cpp; keyed by job id and slot).
 inline constexpr std::uint64_t kFaultPredictor = 0x50464c54ULL;  // "PFLT"
+/// Streaming trace ingest: per-task resample jitter (trace/stream_reader
+/// .cpp; substream: task key + segment), so the fine-grained series a task
+/// gets is independent of chunk size, batch size and worker count.
+inline constexpr std::uint64_t kTraceIngest = 0x54494e47ULL;  // "TING"
 
 namespace detail {
 inline constexpr std::uint64_t kAll[] = {
     kTraining,  kEvaluation,       kSimulation,     kReplica,
     kFault,     kFaultVm,          kFaultTelemetryGap,
-    kFaultStraggler, kFaultPredictor,
+    kFaultStraggler, kFaultPredictor, kTraceIngest,
 };
 
 constexpr bool all_distinct() {

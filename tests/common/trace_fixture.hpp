@@ -1,0 +1,117 @@
+// Deterministic in-test trace fixtures for the streaming-ingest tests:
+// writes small Google cluster-usage v2 task_usage CSV files (the same
+// layout tools/make_trace_fixture.py generates at CI scale) so the
+// stream-reader and replay tests exercise the real
+// parse -> window -> resample path without shipping data files.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace corp::testfix {
+
+/// 5-minute coarse usage window, microseconds (the trace's native unit).
+inline constexpr std::int64_t kWindowUs = 300'000'000;
+/// Arbitrary non-zero trace start; submit slots count from it.
+inline constexpr std::int64_t kEpochUs = 600'000'000;
+
+/// One task_usage row (13 columns; only start/end/job_id, mean_cpu,
+/// canonical_mem and mean_disk_space carry signal).
+inline std::string google_row(std::int64_t start_us, std::int64_t end_us,
+                              std::uint64_t job_id, double cpu, double mem,
+                              double disk) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%lld,%lld,%llu,0,%llu,%.6f,%.6f,0,0,0,0,0,%.6f\n",
+                static_cast<long long>(start_us),
+                static_cast<long long>(end_us),
+                static_cast<unsigned long long>(job_id),
+                static_cast<unsigned long long>(job_id % 997), cpu, mem,
+                disk);
+  return std::string(buf);
+}
+
+/// Writes a self-describing google-v2 fixture: `windows` periods of
+/// `singles_per_window` single-window tasks (every tenth split into two
+/// half-window records the reader must merge) plus two multi-window
+/// tasks per period (dropped under kDrop, split under kSegment). Rows
+/// are start-sorted, as in the real download. Returns the number of
+/// single-window tasks — the jobs a kDrop ingest keeps.
+inline std::size_t write_google_fixture(const std::string& path,
+                                        std::size_t windows,
+                                        std::size_t singles_per_window,
+                                        std::uint64_t seed) {
+  struct Multi {
+    std::uint64_t id = 0;
+    int windows_left = 0;
+    double cpu = 0.0;
+    double mem = 0.0;
+  };
+  util::Rng rng(seed);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "#corp-trace schema=google-v2\n";
+  std::uint64_t next_id = 1;
+  std::size_t singles = 0;
+  std::vector<Multi> active;
+  for (std::size_t w = 0; w < windows || !active.empty(); ++w) {
+    const std::int64_t start =
+        kEpochUs + static_cast<std::int64_t>(w) * kWindowUs;
+    std::vector<std::pair<std::int64_t, std::string>> rows;
+    for (Multi& m : active) {
+      --m.windows_left;
+      rows.emplace_back(
+          start, google_row(start, start + kWindowUs, m.id, m.cpu, m.mem,
+                            0.0005));
+    }
+    std::erase_if(active,
+                  [](const Multi& m) { return m.windows_left <= 0; });
+    if (w < windows) {
+      for (std::size_t i = 0; i < singles_per_window; ++i) {
+        const double cpu = rng.uniform(0.004, 0.02);
+        const double mem = rng.uniform(0.003, 0.012);
+        const double disk = rng.uniform(0.0002, 0.001);
+        const std::uint64_t id = next_id++;
+        ++singles;
+        if (i % 10 == 0) {
+          const std::int64_t half = start + kWindowUs / 2;
+          rows.emplace_back(
+              start, google_row(start, half, id, cpu, mem, disk));
+          rows.emplace_back(
+              half, google_row(half, start + kWindowUs, id, cpu * 1.5, mem,
+                               disk));
+        } else {
+          rows.emplace_back(
+              start,
+              google_row(start, start + kWindowUs, id, cpu, mem, disk));
+        }
+      }
+      for (int k = 0; k < 2; ++k) {
+        Multi m;
+        m.id = next_id++;
+        m.windows_left = rng.bernoulli(0.5) ? 2 : 3;
+        m.cpu = rng.uniform(0.004, 0.02);
+        m.mem = rng.uniform(0.003, 0.012);
+        --m.windows_left;
+        rows.emplace_back(
+            start, google_row(start, start + kWindowUs, m.id, m.cpu, m.mem,
+                              0.0005));
+        if (m.windows_left > 0) active.push_back(m);
+      }
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& row : rows) out << row.second;
+  }
+  return singles;
+}
+
+}  // namespace corp::testfix

@@ -25,10 +25,12 @@
 #include "obs/metrics.hpp"
 #include "predict/backtest.hpp"
 #include "predict/stack_builder.hpp"
+#include "sim/job_source.hpp"
 #include "sim/replication.hpp"
 #include "sim/workloads.hpp"
 #include "trace/google_format.hpp"
 #include "trace/stats.hpp"
+#include "trace/stream_reader.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -42,9 +44,11 @@ int usage() {
       R"(corpsim — CORP (CLUSTER 2016) reproduction driver
 
 subcommands:
-  run        --method corp|rccr|cloudscale|dra [--jobs N] [--env cluster|ec2]
-             [--workload KIND] [--aggressiveness A] [--seed S]
-             [--timeline out.csv]
+  run        --method corp|rccr|cloudscale|dra [--jobs N]
+             [--env cluster|ec2|slurm-het] [--workload KIND]
+             [--aggressiveness A] [--seed S] [--timeline out.csv]
+             [--trace-file trace.csv --trace-schema google-v2|azure-vm]
+             [--long-tasks drop|segment] [--chunk-kb K]
   compare    like run, but all four methods side by side
   replicate  --method M [--reps R] [--threads T] [--jobs N] ... adds
              confidence intervals; replicas run in parallel on T threads
@@ -57,6 +61,18 @@ subcommands:
 
 workload kinds: paper-sweep (default), burst, trickle, heavy-tail,
                 mixed-services
+
+real traces (docs/traces.md): run accepts
+  --trace-file PATH    stream a real trace (Google cluster-usage v2 task_usage
+                       or Azure VM 5-minute CPU readings) through the
+                       bounded-memory ingester instead of a synthetic workload
+  --trace-schema S     google-v2 (default) | azure-vm
+  --long-tasks P       drop (default: paper's short-job filter) | segment
+  --chunk-kb K         ingest chunk size in KiB (throughput knob; results
+                       are bit-identical for every K)
+
+environments: cluster (Palmetto, default), ec2 (Amazon EC2),
+              slurm-het (mixed node classes with a capped burst partition)
 
 scaling (docs/scaling.md): run/compare/replicate/backtest accept
   --shards K           slot-engine shards (default 1; 0 = one shard per
@@ -106,7 +122,10 @@ std::optional<std::vector<std::string>> known_flags(
     flags.insert(flags.end(), extra.begin(), extra.end());
     return flags;
   };
-  if (command == "run") return add({"method", "timeline"});
+  if (command == "run") {
+    return add({"method", "timeline", "trace-file", "trace-schema",
+                "long-tasks", "chunk-kb"});
+  }
   if (command == "compare") return add({});
   if (command == "replicate") return add({"method", "reps"});
   if (command == "trace-gen") return add({"out"});
@@ -168,7 +187,11 @@ cluster::EnvironmentConfig env_from(const util::ArgParser& args) {
   const std::string name = args.get("env", "cluster");
   if (name == "cluster") return cluster::EnvironmentConfig::PalmettoCluster();
   if (name == "ec2") return cluster::EnvironmentConfig::AmazonEc2();
-  throw std::invalid_argument("unknown --env " + name + " (cluster|ec2)");
+  if (name == "slurm-het") {
+    return cluster::EnvironmentConfig::SlurmHeterogeneous();
+  }
+  throw std::invalid_argument("unknown --env " + name +
+                              " (cluster|ec2|slurm-het)");
 }
 
 predict::Method method_from(const std::string& name) {
@@ -280,9 +303,79 @@ void print_results(const std::vector<predict::Method>& methods,
   std::cout << "fault accounting:\n" << faults.to_string();
 }
 
+/// Streams a real trace file through the bounded-memory ingester into the
+/// slot engine (no full-trace materialization). Training still uses the
+/// synthetic corpus: real traces carry no ground-truth unused series for
+/// the paper's training protocol.
+int run_trace_stream(const util::ArgParser& args, const RunSetup& setup,
+                     predict::Method method) {
+  const std::string path = args.get("trace-file", "");
+  trace::StreamReaderConfig stream;
+  stream.schema =
+      trace::parse_schema_name(args.get("trace-schema", "google-v2"));
+  const std::string long_tasks = args.get("long-tasks", "drop");
+  if (long_tasks == "drop") {
+    stream.long_tasks = trace::LongTaskPolicy::kDrop;
+  } else if (long_tasks == "segment") {
+    stream.long_tasks = trace::LongTaskPolicy::kSegment;
+  } else {
+    throw std::invalid_argument("unknown --long-tasks " + long_tasks +
+                                " (drop|segment)");
+  }
+  const std::size_t chunk_kb = args.get_size(
+      "chunk-kb", setup.experiment.params.ingest_chunk_kb);
+  if (chunk_kb == 0) {
+    throw std::invalid_argument("--chunk-kb must be >= 1");
+  }
+  stream.chunk_bytes = chunk_kb * 1024;
+  stream.seed = setup.experiment.seed;
+
+  const auto& experiment = setup.experiment;
+  trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(
+      experiment.environment, experiment.training_jobs,
+      experiment.training_horizon_slots));
+  util::Rng train_rng(sim::training_seed(experiment.seed));
+  const trace::Trace training = train_gen.generate(train_rng);
+
+  sim::SimulationConfig config = sim::make_simulation_config(
+      experiment, method, setup.aggressiveness);
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+
+  std::cout << "streaming " << path << " ("
+            << trace::schema_name(stream.schema) << ") into "
+            << predict::method_name(method) << " on "
+            << experiment.environment.name << "\n";
+  trace::StreamReader reader(path, stream);
+  sim::StreamingJobSource source(reader);
+  const sim::SimulationResult result = simulation.run(source);
+
+  const trace::StreamStats& stats = reader.stats();
+  util::TextTable ingest({"phase", "rows", "jobs", "dropped long",
+                          "segmented", "peak open", "peak live"});
+  ingest.add_row("ingest",
+                 {static_cast<double>(stats.rows_parsed),
+                  static_cast<double>(stats.jobs_emitted),
+                  static_cast<double>(stats.jobs_dropped_long),
+                  static_cast<double>(stats.jobs_segmented),
+                  static_cast<double>(stats.peak_open_tasks),
+                  static_cast<double>(source.peak_live_jobs())});
+  std::cout << ingest.to_string();
+  util::TextTable table({"method", "overall util", "slo violation",
+                         "completed", "opportunistic", "latency ms"});
+  table.add_row(std::string(predict::method_name(method)),
+                {result.overall_utilization, result.slo_violation_rate,
+                 static_cast<double>(result.jobs_completed),
+                 static_cast<double>(result.opportunistic_placements),
+                 result.total_latency_ms});
+  std::cout << table.to_string();
+  return 0;
+}
+
 int cmd_run(const util::ArgParser& args) {
   const RunSetup setup = setup_from(args);
   const predict::Method method = method_from(args.get("method", "corp"));
+  if (args.has("trace-file")) return run_trace_stream(args, setup, method);
   std::cout << "running " << predict::method_name(method) << " on "
             << sim::workload_name(setup.workload) << " (" << setup.jobs
             << " jobs, " << setup.experiment.environment.name << ")\n";

@@ -24,6 +24,9 @@ Rules (see docs/static_analysis.md for the full contract):
   CORP-API-001  direct construction of a prediction stack outside
                 predict/stacks + StackBuilder (bypasses option
                 validation and the Table II defaults)
+  CORP-IO-001   getline loop accumulating rows into a container in
+                trace-ingest code (unbounded whole-file read; production
+                traces are multi-GB and must stream)
 
 Suppressions are per-rule comments on the offending line or the line
 directly above it, e.g. ``// lint: sorted-gather``.  Each rule names its
@@ -470,6 +473,83 @@ def check_direct_stack_construction(src: SourceFile) -> Iterator[Violation]:
             "`// lint: stack-direct`)")
 
 
+#: Directories whose readers face production-size (multi-GB) inputs.
+_STREAMING_IO_DIRS = ("trace",)
+
+
+def _in_streaming_io_dir(path: Path) -> bool:
+    return any(d in path.parts for d in _STREAMING_IO_DIRS)
+
+
+def check_whole_file_read(src: SourceFile) -> Iterator[Violation]:
+    """CORP-IO-001: `while (getline(...))` growing a container.
+
+    The classic whole-file reader — read every line, push_back every
+    row — materializes O(file) state. Fine for configs; fatal for the
+    multi-GB Google/Azure traces, whose bounded-memory path is
+    trace::StreamReader. The rule only watches trace-ingest directories
+    and only fires when the loop body actually accumulates
+    (push_back/emplace_back), so keyed lookups and line counting stay
+    legal.
+    """
+    if not _in_streaming_io_dir(src.path):
+        return
+    toks = src.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text != "while":
+            continue
+        if not _seq(toks, i + 1, "("):
+            continue
+        # Scan the loop condition for a getline call.
+        depth = 0
+        j = i + 1
+        saw_getline = False
+        while j < len(toks):
+            t = toks[j]
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif t.kind == "ident" and t.text == "getline":
+                saw_getline = True
+            j += 1
+        if not saw_getline or j >= len(toks):
+            continue
+        # Walk the loop body — a brace block or a single statement.
+        k = j + 1
+        if k < len(toks) and toks[k].text == "{":
+            depth = 0
+            body_end = k
+            while body_end < len(toks):
+                t = toks[body_end]
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                body_end += 1
+        else:
+            body_end = k
+            while body_end < len(toks) and toks[body_end].text != ";":
+                body_end += 1
+        grows = any(
+            t.kind == "ident" and t.text in ("push_back", "emplace_back")
+            for t in toks[k:body_end + 1])
+        if not grows:
+            continue
+        if src.justified(tok.line, "streaming-io"):
+            continue
+        yield Violation(
+            src.path, tok.line, "CORP-IO-001",
+            "getline loop accumulating rows into a container — an "
+            "unbounded whole-file read; production traces are multi-GB, "
+            "so stream them through trace::StreamReader (justify "
+            "bounded-input readers with `// lint: streaming-io`)")
+
+
 RULES: tuple[Rule, ...] = (
     Rule("CORP-RNG-001", "raw std:: random engine outside util/rng",
          "raw-engine", check_raw_engine),
@@ -487,6 +567,8 @@ RULES: tuple[Rule, ...] = (
          "literal-stream", check_seed_stream_tag),
     Rule("CORP-API-001", "direct prediction-stack construction",
          "stack-direct", check_direct_stack_construction),
+    Rule("CORP-IO-001", "whole-file getline read in trace-ingest code",
+         "streaming-io", check_whole_file_read),
 )
 
 #: Default scan roots, relative to the repo root (tests/ is exempt: test

@@ -1,0 +1,40 @@
+// Fixture: must trip exactly CORP-IO-001.
+// A getline loop that push_backs every row materializes O(file) state —
+// an unbounded whole-file read. Production traces are multi-GB, so
+// trace-ingest code must stream (trace::StreamReader) instead.
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace corp::fixture {
+
+std::vector<std::string> read_whole_trace(std::istream& in) {
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(in, line)) {  // violation: unbounded accumulation
+    rows.push_back(line);
+  }
+  return rows;
+}
+
+std::size_t count_rows(std::istream& in) {
+  std::string line;
+  std::size_t rows = 0;
+  // O(1) state: counting lines must NOT trip the rule.
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  return rows;
+}
+
+std::vector<std::string> read_bounded_header(std::istream& in) {
+  std::vector<std::string> header;
+  std::string line;
+  // lint: streaming-io -- bounded: stops after the fixed-size preamble
+  while (std::getline(in, line) && header.size() < 4) {
+    header.push_back(line);
+  }
+  return header;
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Deterministic trace-fixture generator for the streaming ingester.
+
+Writes a synthetic-but-schema-faithful trace CSV in either the Google
+cluster-usage v2 ``task_usage`` shape or the Azure VM CPU-readings
+shape, sized to a byte target, so CI can exercise
+``trace::StreamReader`` (bench/trace_replay, the trace-ingest job) at
+production volume without shipping gigabytes of real trace data.
+
+Layout mirrors what the reader has to cope with in the real downloads:
+
+* rows sorted by start timestamp, many tasks interleaved per 5-minute
+  window;
+* mostly single-window short tasks (kept by the paper's short-job
+  filter), a slice of multi-window tasks (dropped under the default
+  ``drop`` policy), including split sub-window records and skipped
+  windows (gap fills);
+* a ``#corp-trace schema=...`` directive as line 1 so the file is
+  self-describing.
+
+Output is a pure function of (--schema, --mb, --seed, generator
+version): the CI job caches the fixture keyed on this script's hash and
+re-generates only when the generator changes. The SHA-256 of the
+written file is always printed for cache/audit trails.
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import random
+import sys
+from pathlib import Path
+
+WINDOW_US = 300_000_000  # 5-minute usage window, microseconds
+EPOCH_US = 600_000_000  # arbitrary non-zero trace start
+
+
+def format_google_row(start_us: int, end_us: int, job_id: int,
+                      task_index: int, machine: int, cpu: float,
+                      mem: float, disk: float) -> str:
+    # task_usage columns: start, end, job_id, task_index, machine_id,
+    # mean_cpu, canonical_mem, assigned_mem, unmapped_cache, page_cache,
+    # max_mem, mean_disk_io, mean_disk_space.
+    return (f"{start_us},{end_us},{job_id},{task_index},{machine},"
+            f"{cpu:.6f},{mem:.6f},0,0,0,0,0,{disk:.6f}\n")
+
+
+def generate_google(out: Path, target_bytes: int, seed: int) -> int:
+    """Writes a task_usage-shaped fixture; returns rows written."""
+    rng = random.Random(seed)
+    rows = 0
+    bytes_written = 0
+    next_job_id = 1
+    # Active multi-window tasks: (job_id, windows_left, skip_window,
+    # cpu, mem, disk). skip_window counts down to one deliberately
+    # omitted window (a gap the reader must fill).
+    active: list[list[float]] = []
+    window = 0
+    draining = False
+    with out.open("w", encoding="ascii", newline="\n") as handle:
+        def emit(line: str) -> None:
+            nonlocal rows, bytes_written
+            handle.write(line)
+            rows += 1
+            bytes_written += len(line)
+
+        handle.write("#corp-trace schema=google-v2\n")
+        while not draining or active:
+            start = EPOCH_US + window * WINDOW_US
+            buffered: list[tuple[int, str]] = []
+            # Continue active multi-window tasks.
+            for task in active:
+                job_id = int(task[0])
+                task[1] -= 1
+                if task[2] == 1:
+                    task[2] = 0
+                    continue  # skipped window -> reader gap-fills
+                if task[2] > 0:
+                    task[2] -= 1
+                buffered.append((start, format_google_row(
+                    start, start + WINDOW_US, job_id, 0, job_id % 997,
+                    task[3], task[4], task[5])))
+            active = [t for t in active if t[1] > 0]
+            if not draining:
+                # Fresh single-window tasks: 90% whole-window rows, 10%
+                # split into two half-window records the reader must
+                # merge into one coarse window.
+                for _ in range(1080):
+                    cpu = rng.uniform(0.004, 0.022)
+                    mem = rng.uniform(0.003, 0.016)
+                    disk = rng.uniform(0.0002, 0.0012)
+                    job_id = next_job_id
+                    next_job_id += 1
+                    if rng.random() < 0.10:
+                        half = WINDOW_US // 2
+                        buffered.append((start, format_google_row(
+                            start, start + half, job_id, 0, job_id % 997,
+                            cpu, mem, disk)))
+                        buffered.append((start + half, format_google_row(
+                            start + half, start + WINDOW_US, job_id, 0,
+                            job_id % 997, cpu * 1.1, mem, disk)))
+                    else:
+                        buffered.append((start, format_google_row(
+                            start, start + WINDOW_US, job_id, 0,
+                            job_id % 997, cpu, mem, disk)))
+                # Fresh multi-window tasks (dropped by the short-job
+                # filter; they exercise assembly, drops and gap fills).
+                for _ in range(40):
+                    windows = rng.randint(2, 4)
+                    skip = 0
+                    if windows >= 3 and rng.random() < 0.25:
+                        # Omit the second window: the reader must
+                        # gap-fill before the drop policy can trigger.
+                        skip = 1
+                    job_id = next_job_id
+                    next_job_id += 1
+                    task = [float(job_id), float(windows), float(skip),
+                            rng.uniform(0.004, 0.02),
+                            rng.uniform(0.003, 0.012),
+                            rng.uniform(0.0002, 0.001)]
+                    task[1] -= 1
+                    buffered.append((start, format_google_row(
+                        start, start + WINDOW_US, job_id, 0, job_id % 997,
+                        task[3], task[4], task[5])))
+                    if task[1] > 0:
+                        active.append(task)
+            buffered.sort(key=lambda item: item[0])
+            for _, line in buffered:
+                emit(line)
+            window += 1
+            if bytes_written >= target_bytes:
+                draining = True
+    return rows
+
+
+def generate_azure(out: Path, target_bytes: int, seed: int) -> int:
+    """Writes an Azure vm_cpu_readings-shaped fixture; returns rows."""
+    rng = random.Random(seed)
+    rows = 0
+    bytes_written = 0
+    # Fleet of VMs, each reporting once per window for a random
+    # lifetime; expired VMs are replaced so row volume stays steady.
+    names: list[str] = [f"vm-{seed}-{i:06d}" for i in range(1200)]
+    lives: list[int] = [rng.randint(3, 40) for _ in names]
+    next_vm = len(names)
+    window = 0
+    with out.open("w", encoding="ascii", newline="\n") as handle:
+        handle.write("#corp-trace schema=azure-vm\n")
+        while bytes_written < target_bytes:
+            ts = (EPOCH_US // 1_000_000) + window * 300
+            for i, name in enumerate(names):
+                avg = rng.uniform(1.0, 35.0)
+                low = avg * rng.uniform(0.3, 0.9)
+                high = min(100.0, avg * rng.uniform(1.1, 2.5))
+                line = f"{ts},{name},{low:.4f},{high:.4f},{avg:.4f}\n"
+                handle.write(line)
+                rows += 1
+                bytes_written += len(line)
+                lives[i] -= 1
+            for i, life in enumerate(lives):
+                if life <= 0:
+                    names[i] = f"vm-{seed}-{next_vm:06d}"
+                    lives[i] = rng.randint(3, 40)
+                    next_vm += 1
+            window += 1
+    return rows
+
+
+def sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def main() -> int:
+    doc = __doc__ or ""
+    parser = argparse.ArgumentParser(description=doc.splitlines()[0])
+    parser.add_argument("--out", required=True, help="output CSV path")
+    parser.add_argument("--schema", default="google-v2",
+                        choices=("google-v2", "azure-vm"))
+    parser.add_argument("--mb", type=float, default=100.0,
+                        help="target size in MiB (default 100)")
+    parser.add_argument("--seed", type=int, default=1337)
+    args = parser.parse_args()
+    if args.mb <= 0:
+        print("error: --mb must be positive", file=sys.stderr)
+        return 2
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    target_bytes = int(args.mb * (1 << 20))
+    if args.schema == "google-v2":
+        rows = generate_google(out, target_bytes, args.seed)
+    else:
+        rows = generate_azure(out, target_bytes, args.seed)
+    size = out.stat().st_size
+    print(f"wrote {out} ({rows} rows, {size} bytes, schema {args.schema}, "
+          f"seed {args.seed})")
+    print(f"sha256 {sha256_of(out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
