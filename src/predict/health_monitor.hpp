@@ -70,6 +70,16 @@ class PredictorHealthMonitor {
 
   DegradationTier tier() const { return tier_; }
 
+  /// Faulty fraction of the current observation window (0 while the
+  /// window is empty, e.g. right after a demotion consumed the evidence).
+  /// Continuous health signal consumed by trust-adaptive scheduling
+  /// (sched/trust.hpp).
+  double window_fault_fraction() const {
+    return window_.empty() ? 0.0
+                           : static_cast<double>(window_faults_) /
+                                 static_cast<double>(window_.size());
+  }
+
   std::size_t faults_observed() const { return faults_observed_; }
   std::size_t demotions() const { return demotions_; }
   std::size_t promotions() const { return promotions_; }

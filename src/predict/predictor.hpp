@@ -90,11 +90,18 @@ class SeriesPredictor {
   virtual std::string_view name() const = 0;
 };
 
-/// The provisioning methods compared in Sec. IV.
-enum class Method { kCorp, kRccr, kCloudScale, kDra };
+/// The provisioning methods compared in Sec. IV, plus kPredAware — the
+/// prediction-aware online allocator with an explicit consistency–
+/// robustness trust knob (Buchbinder et al.; sched/pred_aware_scheduler
+/// .hpp). It runs CORP's prediction stack, so it is not part of the
+/// paper-figure method set below.
+enum class Method { kCorp, kRccr, kCloudScale, kDra, kPredAware };
 
 std::string_view method_name(Method m);
 
+/// The four methods of the paper's Sec. IV figures. kPredAware is
+/// deliberately excluded: the robustness-frontier bench sweeps it
+/// explicitly against CORP/RCCR instead.
 inline constexpr Method kAllMethods[] = {Method::kCorp, Method::kRccr,
                                          Method::kCloudScale, Method::kDra};
 

@@ -32,6 +32,11 @@ void validate(const StackConfig& config) {
 std::unique_ptr<PredictionStack> StackBuilder::build(util::Rng& rng) const {
   validate(config_);
   switch (method_) {
+    // The prediction-aware scheduler consumes CORP's forecasts — same
+    // DNN + HMM + confidence-bound stack, same trainer schedule — and
+    // differs only in how much the *scheduler* trusts them, so the two
+    // cases share one construction path.
+    case Method::kPredAware:
     case Method::kCorp: {
       CorpStack::Options options;
       options.stack = config_;

@@ -15,6 +15,7 @@ std::string_view method_name(Method m) {
     case Method::kRccr: return "RCCR";
     case Method::kCloudScale: return "CloudScale";
     case Method::kDra: return "DRA";
+    case Method::kPredAware: return "pred-aware";
   }
   return "?";
 }

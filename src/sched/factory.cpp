@@ -1,5 +1,6 @@
 #include "sched/baseline_schedulers.hpp"
 #include "sched/corp_scheduler.hpp"
+#include "sched/pred_aware_scheduler.hpp"
 #include "sched/scheduler.hpp"
 
 #include <stdexcept>
@@ -16,6 +17,8 @@ std::unique_ptr<Scheduler> make_scheduler(Method method, util::Rng& /*rng*/) {
       return std::make_unique<CloudScaleScheduler>();
     case Method::kDra:
       return std::make_unique<DraScheduler>();
+    case Method::kPredAware:
+      return std::make_unique<PredictionAwareScheduler>();
   }
   throw std::invalid_argument("make_scheduler: unknown method");
 }

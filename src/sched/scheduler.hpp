@@ -55,11 +55,16 @@ struct VmView {
   bool accepts_reserved = true;
 };
 
+struct TrustSignals;
+
 struct SchedulerContext {
   std::span<const VmView> vms;
   /// Component-wise maximum VM capacity (Eq. 22 normalizer).
   ResourceVector max_vm_capacity;
   util::Rng* rng = nullptr;
+  /// Predictor-health snapshot for trust-adaptive schedulers (sched/
+  /// trust.hpp); null for methods that do not consume it.
+  const TrustSignals* trust = nullptr;
 };
 
 /// One placement produced by place().

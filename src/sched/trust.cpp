@@ -1,0 +1,45 @@
+#include "sched/trust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corp::sched {
+
+TrustController::TrustController(TrustAdaptationConfig config)
+    : config_(config) {}
+
+double TrustController::update(const TrustSignals& signals) {
+  double cap = 1.0;
+  switch (signals.tier) {
+    case predict::DegradationTier::kPrimary:
+      cap = 1.0;
+      break;
+    case predict::DegradationTier::kFallback:
+      cap = std::clamp(config_.fallback_cap, 0.0, 1.0);
+      break;
+    case predict::DegradationTier::kReservedOnly:
+      cap = 0.0;
+      break;
+  }
+  if (cap <= 0.0) {
+    // Reserved-only: the ladder has withdrawn every forecast, so there is
+    // nothing left to trust — the floor does not apply.
+    lambda_ = 0.0;
+    return lambda_;
+  }
+  const double fault_fraction =
+      std::clamp(signals.window_fault_fraction, 0.0, 1.0);
+  const double penalty =
+      std::pow(1.0 - fault_fraction, std::max(1.0, config_.fault_exponent));
+  double gate_margin = 1.0;
+  if (signals.probability_threshold > 0.0) {
+    gate_margin = std::clamp(
+        signals.min_gate_probability / signals.probability_threshold, 0.0,
+        1.0);
+  }
+  lambda_ = std::clamp(cap * penalty * gate_margin,
+                       std::clamp(config_.floor, 0.0, 1.0), 1.0);
+  return lambda_;
+}
+
+}  // namespace corp::sched

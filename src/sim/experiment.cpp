@@ -142,6 +142,26 @@ SimulationConfig make_simulation_config(const ExperimentConfig& experiment,
       config.dra_scheduler = dra;
       break;
     }
+    case Method::kPredAware: {
+      // Same forecast-side and placement-knob mapping as CORP: the
+      // prediction-aware scheduler differs only in how much it trusts
+      // the stack, which is exactly what the trust knob expresses — so
+      // at trust 1 a sweep point is CORP's placement behavior over
+      // CORP's forecasts.
+      stack.probability_threshold = lerp(0.95, 0.30, a);
+      stack.error_tolerance =
+          experiment.params.error_tolerance * lerp(1.0, 4.0, a);
+      stack.confidence_level = lerp(0.88, 0.45, a);
+      sched::PredictionAwareConfig pred_aware;
+      const double hot = std::max(0.0, a - 0.5) * 2.0;
+      pred_aware.corp.pool_safety =
+          lerp(0.72, 0.85, std::min(a * 2.0, 1.0)) + 0.85 * hot;
+      pred_aware.corp.opportunistic_sizing = 0.92 - 0.04 * a - 0.35 * hot;
+      pred_aware.trust = experiment.params.trust;
+      pred_aware.adaptive = experiment.params.trust_adaptive;
+      config.pred_aware = pred_aware;
+      break;
+    }
   }
   config.stack = stack;
   return config;

@@ -82,6 +82,14 @@ struct Params {
   /// throughput/footprint knob — results are bit-identical for every
   /// value (pinned by tests/trace/stream_reader_test).
   std::size_t ingest_chunk_kb = 4096;
+  /// Trust λ of the prediction-aware scheduler (sched/pred_aware_
+  /// scheduler.hpp): 1 follows the forecast like CORP, 0 is demand-based
+  /// worst-case admission, intermediate values blend the admission
+  /// thresholds. Read only by method pred-aware.
+  double trust = 1.0;
+  /// Drive λ online from predictor-health signals instead of the fixed
+  /// value (`--trust auto`).
+  bool trust_adaptive = false;
 
   /// Builds the default per-type prediction StackConfig.
   predict::StackConfig stack_config() const;

@@ -15,6 +15,8 @@
 #include "dnn/network.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "sched/pred_aware_scheduler.hpp"
+#include "sched/trust.hpp"
 #include "util/seed_streams.hpp"
 #include "util/stats.hpp"
 
@@ -181,8 +183,13 @@ SimulationResult ShardEngine::run(JobSource& source) {
 
   const Params& params = config_.params;
   const std::size_t L = params.window_slots;
-  const bool opportunistic_method =
-      config_.method == Method::kCorp || config_.method == Method::kRccr;
+  const bool pred_aware = config_.method == Method::kPredAware;
+  const bool opportunistic_method = config_.method == Method::kCorp ||
+                                    config_.method == Method::kRccr ||
+                                    pred_aware;
+  // P_th backing the trust signals' gate margin (pred-aware only).
+  const double gate_probability_threshold =
+      config_.stack.value_or(params.stack_config()).probability_threshold;
 
   cluster::Cluster cluster(config_.environment);
   cluster::SlotMetricsAccumulator metrics(params.weights);
@@ -443,6 +450,25 @@ SimulationResult ShardEngine::run(JobSource& source) {
       ctx.vms = views;
       ctx.max_vm_capacity = max_vm_capacity;
       ctx.rng = &rng;
+
+      // Predictor-health snapshot for trust-adaptive scheduling. Sampled
+      // in the serial centralized placement step from state that is
+      // bit-identical across shard/thread counts (the monitor and the
+      // trackers are fed in seq order), so the trust trajectory is too.
+      sched::TrustSignals trust_signals;
+      if (pred_aware) {
+        trust_signals.tier = predictor_.tier();
+        trust_signals.window_fault_fraction =
+            predictor_.health().window_fault_fraction();
+        double min_gate = 1.0;
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+          min_gate =
+              std::min(min_gate, predictor_.stack(r).gate_probability());
+        }
+        trust_signals.min_gate_probability = min_gate;
+        trust_signals.probability_threshold = gate_probability_threshold;
+        ctx.trust = &trust_signals;
+      }
 
       const auto start = Clock::now();
       const auto decisions = scheduler_.place(batch, ctx);
@@ -943,6 +969,11 @@ SimulationResult ShardEngine::run(JobSource& source) {
   result.jobs_completed = slo.completed();
   result.jobs_violated = slo.violations();
   result.degradation_tier = static_cast<int>(predictor_.tier());
+  if (pred_aware) {
+    const auto* scheduler =
+        dynamic_cast<const sched::PredictionAwareScheduler*>(&scheduler_);
+    if (scheduler != nullptr) result.trust_lambda = scheduler->current_trust();
+  }
   result.compute_latency_ms = compute_ms;
   result.total_latency_ms = compute_ms + comm_us / 1000.0;
   if (obs_on) {

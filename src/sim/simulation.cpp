@@ -125,6 +125,17 @@ Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
       scheduler_ = std::make_unique<sched::DraScheduler>(
           config_.dra_scheduler.value_or(sched::DraSchedulerConfig{}));
       break;
+    case Method::kPredAware: {
+      sched::PredictionAwareConfig pred_aware =
+          config_.pred_aware.value_or(sched::PredictionAwareConfig{});
+      // The tie-break stream hangs off the run seed, not whatever the
+      // caller left in the config, so replicas and sweeps derive it the
+      // same way as every other per-run stream.
+      pred_aware.seed = config_.seed;
+      scheduler_ =
+          std::make_unique<sched::PredictionAwareScheduler>(pred_aware);
+      break;
+    }
   }
 }
 

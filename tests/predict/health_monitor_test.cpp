@@ -94,6 +94,113 @@ TEST(HealthMonitorTest, ResetRestoresPristineState) {
   EXPECT_EQ(monitor.promotions(), 0u);
 }
 
+TEST(HealthMonitorTest, ExactDemoteThresholdBoundary) {
+  // The demotion comparison is >=: demote_faults - 1 faults in the window
+  // is safe no matter how often the pattern repeats, provided earlier
+  // faults roll out of the window before the next one lands.
+  PredictorHealthMonitor monitor(small_config());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int round = 0; round < 20; ++round) {
+    monitor.observe(nan);
+    monitor.observe(nan);  // 2 faults < demote_faults = 3
+    // Eight healthy observations: both faults leave the window of 8.
+    for (int i = 0; i < 8; ++i) monitor.observe(0.4);
+    ASSERT_EQ(monitor.tier(), DegradationTier::kPrimary) << round;
+  }
+  EXPECT_EQ(monitor.demotions(), 0u);
+  // One fault short of re-filling the window to the threshold...
+  monitor.observe(nan);
+  monitor.observe(nan);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  // ...and the exact third fault demotes: the boundary is inclusive.
+  monitor.observe(nan);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  EXPECT_EQ(monitor.demotions(), 1u);
+}
+
+TEST(HealthMonitorTest, ExactPromoteThresholdBoundary) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // promote_healthy - 1 healthy observations: still one short.
+  for (int i = 0; i < 5; ++i) monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  EXPECT_EQ(monitor.promotions(), 0u);
+  // The exact promote_healthy-th healthy observation re-enters primary.
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.promotions(), 1u);
+}
+
+TEST(HealthMonitorTest, OscillationIsDamped) {
+  // A predictor that alternates short fault bursts with sub-streak
+  // recoveries must neither promote nor demote further: demotion cleared
+  // the window evidence, the bursts stay below demote_faults, and the
+  // recoveries stay below promote_healthy. The ladder holds still
+  // instead of flapping resources open and shut.
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // Period-6 flapping: five healthy then a fault. The healthy streak
+  // peaks at 5 < promote_healthy = 6, and the window of 8 never holds
+  // more than two faults (they land six observations apart) so it never
+  // reaches demote_faults = 3 either.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 5; ++i) monitor.observe(0.4);
+    monitor.observe(nan);
+    ASSERT_EQ(monitor.tier(), DegradationTier::kFallback) << round;
+  }
+  EXPECT_EQ(monitor.demotions(), 1u);
+  EXPECT_EQ(monitor.promotions(), 0u);
+}
+
+TEST(HealthMonitorTest, FullRecoveryFromReservedOnly) {
+  // Reserved-only back to primary is two rungs: each costs a full
+  // promote_healthy streak (promotion resets the streak, so the climbs
+  // cannot share evidence).
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 6; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kReservedOnly);
+  for (int i = 0; i < 6; ++i) monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // One observation short of the second climb.
+  for (int i = 0; i < 5; ++i) monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kPrimary);
+  EXPECT_EQ(monitor.promotions(), 2u);
+  // Recovered state is fully functional: the demote path works again.
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  EXPECT_EQ(monitor.tier(), DegradationTier::kFallback);
+}
+
+TEST(HealthMonitorTest, WindowFaultFractionTracksWindow) {
+  PredictorHealthMonitor monitor(small_config());
+  EXPECT_EQ(monitor.window_fault_fraction(), 0.0);
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.window_fault_fraction(), 0.0);
+  monitor.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(monitor.window_fault_fraction(), 0.5);  // 1 fault / 2 seen
+  for (int i = 0; i < 6; ++i) monitor.observe(0.4);
+  EXPECT_EQ(monitor.window_fault_fraction(), 1.0 / 8.0);
+  // The fault sits at the second slot of the full window, so it takes
+  // two more observations to roll out.
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.window_fault_fraction(), 1.0 / 8.0);
+  monitor.observe(0.4);
+  EXPECT_EQ(monitor.window_fault_fraction(), 0.0);
+}
+
+TEST(HealthMonitorTest, DemotionClearsFaultFractionEvidence) {
+  PredictorHealthMonitor monitor(small_config());
+  for (int i = 0; i < 3; ++i) monitor.observe(1e12);
+  ASSERT_EQ(monitor.tier(), DegradationTier::kFallback);
+  // Demotion consumed the window: the continuous signal restarts at 0
+  // so the next rung is judged on fresh evidence only.
+  EXPECT_EQ(monitor.window_fault_fraction(), 0.0);
+}
+
 TEST(HealthMonitorTest, TierNames) {
   EXPECT_STREQ(tier_name(DegradationTier::kPrimary), "primary");
   EXPECT_STREQ(tier_name(DegradationTier::kFallback), "fallback");

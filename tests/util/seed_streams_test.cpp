@@ -24,6 +24,7 @@ TEST(SeedStreamTest, RegistryValuesAreFrozen) {
   EXPECT_EQ(seed_stream::kFaultTelemetryGap, 0x54474150ULL);
   EXPECT_EQ(seed_stream::kFaultStraggler, 0x53545247ULL);
   EXPECT_EQ(seed_stream::kFaultPredictor, 0x50464c54ULL);
+  EXPECT_EQ(seed_stream::kTrustAdaptation, 0x54525354ULL);
 }
 
 TEST(SeedStreamTest, DerivedSeedsDistinctPerStream) {

@@ -44,7 +44,7 @@ int usage() {
       R"(corpsim — CORP (CLUSTER 2016) reproduction driver
 
 subcommands:
-  run        --method corp|rccr|cloudscale|dra [--jobs N]
+  run        --method corp|rccr|cloudscale|dra|pred-aware [--jobs N]
              [--env cluster|ec2|slurm-het] [--workload KIND]
              [--aggressiveness A] [--seed S] [--timeline out.csv]
              [--trace-file trace.csv --trace-schema google-v2|azure-vm]
@@ -79,6 +79,16 @@ scaling (docs/scaling.md): run/compare/replicate/backtest accept
                        worker thread); results are bit-identical for
                        every K, so this is purely a throughput knob
 
+prediction-aware allocation (docs/resilience.md): run/replicate/backtest
+  --sched NAME         alias of --method (pred-aware is a scheduler
+                       policy over CORP's forecasts, not a new forecaster)
+  --trust L|auto       trust λ of the pred-aware scheduler, in [0, 1]:
+                       1 follows the forecast like CORP, 0 is demand-based
+                       worst-case admission, intermediate values blend the
+                       admission thresholds; 'auto' drives λ online from
+                       predictor health (degradation tier, window fault
+                       fraction, Eq. 21 gate margin)
+
 fault injection (docs/resilience.md): run/compare/replicate accept
   --fault-intensity A  canonical fault mix at intensity A in [0, 1]
                        (VM crashes, telemetry gaps, stragglers, poisoned
@@ -107,7 +117,7 @@ observability (docs/observability.md): any subcommand accepts
 const std::vector<std::string> kCommonFlags{
     "env",          "jobs",        "seed",
     "threads",      "shards",      "workload",
-    "aggressiveness",
+    "aggressiveness", "trust",
     "metrics-out",  "metrics-csv", "no-metrics",
     "fault-intensity", "vm-mttf",  "vm-mttr",
     "gap-rate",     "gap-mean",    "straggler-rate",
@@ -123,14 +133,14 @@ std::optional<std::vector<std::string>> known_flags(
     return flags;
   };
   if (command == "run") {
-    return add({"method", "timeline", "trace-file", "trace-schema",
+    return add({"method", "sched", "timeline", "trace-file", "trace-schema",
                 "long-tasks", "chunk-kb"});
   }
   if (command == "compare") return add({});
-  if (command == "replicate") return add({"method", "reps"});
+  if (command == "replicate") return add({"method", "sched", "reps"});
   if (command == "trace-gen") return add({"out"});
   if (command == "stats") return add({"trace"});
-  if (command == "backtest") return add({"method"});
+  if (command == "backtest") return add({"method", "sched"});
   if (command == "convert") return add({"events", "usage", "out"});
   return std::nullopt;
 }
@@ -194,12 +204,52 @@ cluster::EnvironmentConfig env_from(const util::ArgParser& args) {
                               " (cluster|ec2|slurm-het)");
 }
 
-predict::Method method_from(const std::string& name) {
+predict::Method method_from(const std::string& name,
+                            const std::string& flag = "--method") {
   if (name == "corp") return predict::Method::kCorp;
   if (name == "rccr") return predict::Method::kRccr;
   if (name == "cloudscale") return predict::Method::kCloudScale;
   if (name == "dra") return predict::Method::kDra;
-  throw std::invalid_argument("unknown --method " + name);
+  if (name == "pred-aware") return predict::Method::kPredAware;
+  throw std::invalid_argument("unknown " + flag + " " + name);
+}
+
+/// Resolves --method with its scheduler-centric alias --sched (the
+/// prediction-aware strategy is a scheduler policy, so `--sched
+/// pred-aware` reads naturally); passing both is ambiguous.
+predict::Method method_arg(const util::ArgParser& args) {
+  if (args.has("sched") && args.has("method")) {
+    throw std::invalid_argument(
+        "--sched is an alias of --method; pass only one");
+  }
+  if (args.has("sched")) {
+    return method_from(args.get("sched", "corp"), "--sched");
+  }
+  return method_from(args.get("method", "corp"));
+}
+
+/// Parses --trust into the params' (trust, trust_adaptive) pair. Rejects
+/// anything that is not a full numeric literal in [0, 1] or the word
+/// 'auto' — a silent clamp would turn a typo into a different experiment.
+void apply_trust_flag(const util::ArgParser& args, sim::Params& params) {
+  if (!args.has("trust")) return;
+  const std::string text = args.get("trust", "1");
+  if (text == "auto") {
+    params.trust_adaptive = true;
+    return;
+  }
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || !(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(
+        "--trust must be a number in [0, 1] or 'auto', got " + text);
+  }
+  params.trust = value;
 }
 
 sim::WorkloadKind workload_from(const std::string& name) {
@@ -231,6 +281,7 @@ RunSetup setup_from(const util::ArgParser& args) {
   setup.aggressiveness = get_probability(args, "aggressiveness", 0.35);
   setup.experiment.params.threads = args.get_size("threads", 0);
   setup.experiment.params.shards = args.get_size("shards", 1);
+  apply_trust_flag(args, setup.experiment.params);
   setup.experiment.faults = faults_from(args);
   return setup;
 }
@@ -374,7 +425,7 @@ int run_trace_stream(const util::ArgParser& args, const RunSetup& setup,
 
 int cmd_run(const util::ArgParser& args) {
   const RunSetup setup = setup_from(args);
-  const predict::Method method = method_from(args.get("method", "corp"));
+  const predict::Method method = method_arg(args);
   if (args.has("trace-file")) return run_trace_stream(args, setup, method);
   std::cout << "running " << predict::method_name(method) << " on "
             << sim::workload_name(setup.workload) << " (" << setup.jobs
@@ -401,7 +452,7 @@ int cmd_compare(const util::ArgParser& args) {
 
 int cmd_replicate(const util::ArgParser& args) {
   const RunSetup setup = setup_from(args);
-  const predict::Method method = method_from(args.get("method", "corp"));
+  const predict::Method method = method_arg(args);
   sim::ReplicationConfig replication =
       setup.experiment.params.replication_config();
   replication.replications = args.get_size("reps", replication.replications);
@@ -459,7 +510,7 @@ int cmd_stats(const util::ArgParser& args) {
 
 int cmd_backtest(const util::ArgParser& args) {
   const RunSetup setup = setup_from(args);
-  const predict::Method method = method_from(args.get("method", "corp"));
+  const predict::Method method = method_arg(args);
   const auto& experiment = setup.experiment;
 
   trace::GoogleTraceGenerator train_gen(sim::scaled_generator_config(

@@ -1,0 +1,20 @@
+// Fixture: must trip exactly CORP-SEED-001.
+// The trust-adaptation tie-break stream has a registered tag
+// (util::seed_stream::kTrustAdaptation = 0x54525354, "TRST"). Spelling
+// its value as a bare hex literal at the call site bypasses the
+// registry's compile-time distinctness proof: a second subsystem could
+// pick the same constant and silently share the stream.
+#include <cstdint>
+
+namespace corp::util {
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+std::uint64_t bad_inline_trust_tag(std::uint64_t base) {
+  // violation: the registry tag's *value*, not its name
+  return util::derive_seed(base, 0x54525354);
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,21 @@
+// Clean corpus: the blessed spelling of the trust-adaptation stream —
+// the registry-named kTrustAdaptation tag, never its literal value
+// (fixtures/bad/corp_seed_001_trust_literal.cpp is the mirror image).
+#include <cstdint>
+
+namespace corp::util {
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+// Mirrors util::seed_stream::kTrustAdaptation ("TRST"): defining a named
+// constant from a literal is fine — only a bare literal at the
+// derive_seed call site can silently collide streams.
+inline constexpr std::uint64_t kTrustAdaptation = 0x54525354ULL;
+
+std::uint64_t trust_tie_break_seed(std::uint64_t base) {
+  return util::derive_seed(base, kTrustAdaptation);
+}
+
+}  // namespace corp::fixture
