@@ -1,0 +1,888 @@
+"""clang AST-JSON frontend: drives `clang -Xclang -ast-dump=json` over
+compile_commands.json entries and lowers the dump to TUFacts.
+
+The JSON dump serializes source locations differentially: `file` and
+`line` appear only when they change relative to the previously printed
+location, in document order (a node's `loc`, then `range.begin`, then
+`range.end`, then its children). The visitor threads that sticky state
+through the whole traversal — getting this wrong silently attributes
+facts to the wrong file, so the hand-written AST fixtures under
+fixtures/astjson pin it.
+
+Lambda capture modes are not serialized in the JSON dump, so the
+frontend re-lexes the capture list from the source slice at the
+lambda's begin offset (shared parser in lexer.py). When the source file
+cannot be read the capture list degrades to the hazard-prone reading
+(capture-default `&`).
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import subprocess
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from analyze.lexer import CaptureList, looks_member, parse_capture_list
+from analyze.micro_frontend import ENTRY_NAMES, MUTATORS
+from analyze.model import MetricSite, ParallelWrite, SeedSite, TUFacts
+
+Node = dict[str, Any]
+
+
+class AnalyzeError(Exception):
+    """Environment/usage failure: missing clang, bad compile DB,
+    malformed AST JSON. The CLI maps this to exit 2."""
+
+
+# --------------------------------------------------------------------------
+# compile_commands.json handling
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileEntry:
+    file: str  # absolute path
+    flags: tuple[str, ...]  # normalized flags relevant to parsing
+
+
+#: Flag prefixes that affect the AST; everything else (warnings,
+#: optimization, output, sanitizers) is dropped so gcc-specific flags
+#: never reach clang and the flags hash stays stable across builds.
+_KEPT_PREFIXES = ("-std=", "-I", "-D", "-U")
+_KEPT_WITH_ARG = ("-isystem", "-include", "-iquote")
+
+
+def _normalize_flags(argv: list[str], directory: str) -> tuple[str, ...]:
+    kept: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in _KEPT_WITH_ARG and i + 1 < len(argv):
+            kept.append(arg)
+            kept.append(_absolutize(argv[i + 1], directory))
+            i += 2
+            continue
+        if arg.startswith(_KEPT_PREFIXES):
+            if arg.startswith("-I"):
+                kept.append("-I" + _absolutize(arg[2:], directory))
+            else:
+                kept.append(arg)
+        i += 1
+    return tuple(kept)
+
+
+def _absolutize(path: str, directory: str) -> str:
+    p = Path(path)
+    return str(p if p.is_absolute() else Path(directory) / p)
+
+
+def load_compile_db(db_path: Path) -> list[CompileEntry]:
+    try:
+        raw = json.loads(db_path.read_text(encoding="utf-8"))
+    except OSError as err:
+        raise AnalyzeError(
+            f"cannot read compile database {db_path}: {err}") from err
+    except json.JSONDecodeError as err:
+        raise AnalyzeError(
+            f"malformed compile database {db_path}: {err}") from err
+    if not isinstance(raw, list):
+        raise AnalyzeError(
+            f"malformed compile database {db_path}: expected a JSON array")
+    entries: list[CompileEntry] = []
+    for item in raw:
+        if not isinstance(item, dict) or "file" not in item:
+            continue
+        directory = str(item.get("directory", "."))
+        if "arguments" in item:
+            argv = [str(a) for a in item["arguments"]]
+        else:
+            argv = shlex.split(str(item.get("command", "")))
+        file = _absolutize(str(item["file"]), directory)
+        entries.append(
+            CompileEntry(file=file, flags=_normalize_flags(argv, directory)))
+    return entries
+
+
+def run_clang(clang: str, entry: CompileEntry) -> Node:
+    """Invokes clang and returns the parsed TranslationUnitDecl node."""
+    command = [
+        clang, "-fsyntax-only", "-w", "-Wno-everything",
+        "-Xclang", "-ast-dump=json", *entry.flags, entry.file,
+    ]
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, check=False)
+    except OSError as err:
+        raise AnalyzeError(f"cannot run clang ({clang}): {err}") from err
+    if proc.returncode != 0 and not proc.stdout:
+        tail = proc.stderr.strip().splitlines()[-3:]
+        raise AnalyzeError(
+            f"clang failed on {entry.file}: " + " | ".join(tail))
+    return parse_ast_json(proc.stdout, source=entry.file)
+
+
+def parse_ast_json(text: str, source: str) -> Node:
+    try:
+        root = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise AnalyzeError(
+            f"malformed AST JSON for {source}: {err}") from err
+    if not isinstance(root, dict) or "kind" not in root:
+        raise AnalyzeError(
+            f"malformed AST JSON for {source}: no root node kind")
+    return root
+
+
+# --------------------------------------------------------------------------
+# Lowering
+# --------------------------------------------------------------------------
+
+_FUNCTION_KINDS = frozenset({
+    "FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+    "CXXDestructorDecl", "CXXConversionDecl",
+})
+_SCOPE_KINDS = frozenset({"NamespaceDecl", "CXXRecordDecl"})
+_WRITE_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                        "^=", "<<=", ">>="})
+_WRAPPER_EXPRS = frozenset({
+    "ImplicitCastExpr", "ParenExpr", "ExprWithCleanups",
+    "MaterializeTemporaryExpr", "CXXBindTemporaryExpr", "ConstantExpr",
+    "CXXConstructExpr", "CXXFunctionalCastExpr", "CXXStaticCastExpr",
+    "CXXDefaultArgExpr",
+})
+
+_FREE_METRIC_KINDS = {
+    "count": "counter", "set_gauge": "gauge", "observe": "histogram"}
+_MEMBER_METRIC_KINDS = {
+    "counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+@dataclass
+class _RegionCall:
+    lam: Node
+    entry: str
+    line: int
+    file: str
+
+
+@dataclass
+class _Lowering:
+    source: str
+    facts: TUFacts
+    cur_file: str = ""
+    cur_line: int = 0
+    #: decl id -> (name, qualType)
+    decls: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: var decl id -> LambdaExpr node (for `auto f = [..]{..};`)
+    lambda_vars: dict[str, Node] = field(default_factory=dict)
+    #: lambda node id -> binding var id
+    lambda_binding: dict[str, str] = field(default_factory=dict)
+    #: lambda node id -> (file, line) at visit time
+    lambda_locs: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: param decl id -> owner key ("fn:<name>" or "var:<id>")
+    param_owner: dict[str, str] = field(default_factory=dict)
+    regions: list[_RegionCall] = field(default_factory=list)
+    #: candidate wrapper calls: (callee_key, lambda node, file, line)
+    wrapper_calls: list[tuple[str, Node, str, int]] = \
+        field(default_factory=list)
+    wrappers: set[str] = field(default_factory=set)
+    func_stack: list[str] = field(default_factory=list)
+    lambda_stack: list[Node] = field(default_factory=list)
+    #: >0 while inside a lambda's closure CXXRecordDecl, whose subtree
+    #: duplicates the lambda body — visited for location/decl tracking
+    #: only, never for fact extraction.
+    closure_depth: int = 0
+    call_sites: list[Node] = field(default_factory=list)
+    member_call_sites: list[Node] = field(default_factory=list)
+    construct_sites: list[Node] = field(default_factory=list)
+    _sources: dict[str, str] = field(default_factory=dict)
+
+    # -- location tracking -------------------------------------------------
+
+    def _apply_loc(self, loc: Node | None) -> tuple[str, int, int, int]:
+        """Updates sticky state; returns (file, line, offset, tokLen)."""
+        if not isinstance(loc, dict):
+            return self.cur_file, self.cur_line, -1, 0
+        if "expansionLoc" in loc or "spellingLoc" in loc:
+            # Macro expansion: the expansion side carries the position
+            # in the including file; both sides advance the sticky
+            # state in print order (spelling first).
+            self._apply_loc(loc.get("spellingLoc"))
+            return self._apply_loc(loc.get("expansionLoc"))
+        file = loc.get("file")
+        if isinstance(file, str):
+            self.cur_file = file
+        line = loc.get("line")
+        if isinstance(line, int):
+            self.cur_line = line
+        offset = loc.get("offset")
+        tok_len = loc.get("tokLen")
+        return (self.cur_file, self.cur_line,
+                offset if isinstance(offset, int) else -1,
+                tok_len if isinstance(tok_len, int) else 0)
+
+    def enter_node(self, node: Node) -> tuple[str, int, int, int]:
+        """Processes loc/range.begin in print order; returns the node's
+        (file, line, begin_offset, end_offset_past_token)."""
+        file, line, off, _ = self._apply_loc(node.get("loc"))
+        rng = node.get("range")
+        begin_off = -1
+        end_off = -1
+        if isinstance(rng, dict):
+            bfile, bline, boff, _ = self._apply_loc(rng.get("begin"))
+            _, _, eoff, etok = self._apply_loc(rng.get("end"))
+            begin_off = boff
+            if eoff >= 0:
+                end_off = eoff + etok
+            if "loc" not in node:
+                file, line = bfile, bline
+        if begin_off < 0:
+            begin_off = off
+        return file, line, begin_off, end_off
+
+    # -- source access -----------------------------------------------------
+
+    def _source_text(self, file: str) -> str:
+        cached = self._sources.get(file)
+        if cached is not None:
+            return cached
+        try:
+            text = Path(file).read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            text = ""
+        self._sources[file] = text
+        return text
+
+    def slice(self, file: str, begin: int, end: int) -> str:
+        if begin < 0 or end < begin:
+            return ""
+        text = self._source_text(file)
+        if not text or end > len(text):
+            return ""
+        return text[begin:end]
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def inner(node: Node) -> list[Node]:
+        children = node.get("inner")
+        if not isinstance(children, list):
+            return []
+        return [c for c in children if isinstance(c, dict)]
+
+    @staticmethod
+    def qual_type(node: Node) -> str:
+        t = node.get("type")
+        if isinstance(t, dict):
+            qt = t.get("qualType")
+            if isinstance(qt, str):
+                return qt
+        return ""
+
+    def ref_decl(self, node: Node) -> tuple[str, str, str]:
+        """(decl id, name, qualType) of a DeclRefExpr's referenced decl."""
+        ref = node.get("referencedDecl")
+        if not isinstance(ref, dict):
+            return "", "", ""
+        return (str(ref.get("id", "")), str(ref.get("name", "")),
+                self.qual_type(ref))
+
+    def strip_wrappers(self, node: Node) -> Node:
+        cur = node
+        guard = 0
+        while cur.get("kind") in _WRAPPER_EXPRS and guard < 32:
+            children = self.inner(cur)
+            if not children:
+                return cur
+            cur = children[0]
+            guard += 1
+        return cur
+
+    def find_lambda(self, node: Node) -> Node | None:
+        """First LambdaExpr in the subtree (the callable argument)."""
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.get("kind") == "LambdaExpr":
+                return cur
+            stack.extend(reversed(self.inner(cur)))
+        return None
+
+    def subtree_ref_ids(self, node: Node) -> set[str]:
+        ids: set[str] = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.get("kind") == "DeclRefExpr":
+                decl_id, _, _ = self.ref_decl(cur)
+                if decl_id:
+                    ids.add(decl_id)
+            stack.extend(self.inner(cur))
+        return ids
+
+    # -- main traversal ----------------------------------------------------
+
+    def visit(self, node: Node) -> None:
+        kind = str(node.get("kind", ""))
+        file, line, begin_off, end_off = self.enter_node(node)
+        # Stamp the resolved location on the node: deferred passes
+        # (region write analysis, site extraction) must not re-run the
+        # differential-location algorithm out of print order.
+        node["__file"] = file
+        node["__line"] = line
+        node["__begin"] = begin_off
+        node["__end"] = end_off
+        children = self.inner(node)
+
+        if kind in ("VarDecl", "ParmVarDecl", "FieldDecl"):
+            decl_id = str(node.get("id", ""))
+            name = str(node.get("name", ""))
+            if decl_id and name:
+                self.decls[decl_id] = (name, self.qual_type(node))
+            if kind == "ParmVarDecl" and decl_id:
+                owner = self._current_owner()
+                if owner:
+                    self.param_owner.setdefault(decl_id, owner)
+            if kind == "VarDecl" and decl_id:
+                lam = self._direct_lambda_init(node)
+                if lam is not None:
+                    self.lambda_vars[decl_id] = lam
+                    lam_id = str(lam.get("id", ""))
+                    if lam_id:
+                        self.lambda_binding[lam_id] = decl_id
+
+        if kind == "LambdaExpr":
+            lam_id = str(node.get("id", ""))
+            if lam_id:
+                self.lambda_locs[lam_id] = (file, line)
+
+        if self.closure_depth == 0:
+            if kind in ("CallExpr", "CXXMemberCallExpr",
+                        "CXXOperatorCallExpr"):
+                self._record_call(kind, node, file, line)
+            if kind == "CallExpr":
+                node["__fn"] = "::".join(self.func_stack)
+                self.call_sites.append(node)
+            elif kind == "CXXMemberCallExpr":
+                self.member_call_sites.append(node)
+            elif kind in ("CXXConstructExpr", "CXXTemporaryObjectExpr"):
+                self.construct_sites.append(node)
+
+        push_fn = False
+        push_scope = False
+        if kind in _FUNCTION_KINDS and not node.get("isImplicit", False):
+            name = str(node.get("name", ""))
+            if name:
+                self.func_stack.append(name)
+                push_fn = True
+        elif kind in _SCOPE_KINDS:
+            name = str(node.get("name", ""))
+            if name:
+                self.func_stack.append(name)
+                push_scope = True
+
+        in_lambda = kind == "LambdaExpr"
+        if in_lambda:
+            self.lambda_stack.append(node)
+        for child in children:
+            # The closure CXXRecordDecl duplicates the lambda's
+            # operator() (params + body). It must still be walked — its
+            # differential locations advance the sticky state, and the
+            # lambda's ParmVarDecls only appear there — but facts from
+            # it would double-count, hence the closure_depth guard.
+            if in_lambda and child.get("kind") == "CXXRecordDecl":
+                self.closure_depth += 1
+                self.visit(child)
+                self.closure_depth -= 1
+            else:
+                self.visit(child)
+        if in_lambda:
+            self.lambda_stack.pop()
+        if push_fn or push_scope:
+            self.func_stack.pop()
+
+    def extract_sites(self) -> None:
+        """Deferred seed/metric extraction (after all nodes are
+        location-stamped, so argument source slices resolve)."""
+        for node in self.call_sites:
+            file = str(node.get("__file", ""))
+            line = int(node.get("__line", 0))
+            self._maybe_seed_site(node, file, line)
+            self._maybe_free_metric(node, file, line)
+        for node in self.member_call_sites:
+            self._maybe_member_metric(
+                node, str(node.get("__file", "")),
+                int(node.get("__line", 0)))
+        for node in self.construct_sites:
+            self._maybe_phase_timer(
+                node, str(node.get("__file", "")),
+                int(node.get("__line", 0)))
+
+    def _current_owner(self) -> str:
+        if self.lambda_stack:
+            return "lam:" + str(self.lambda_stack[-1].get("id", ""))
+        if self.func_stack:
+            return "fn:" + self.func_stack[-1]
+        return ""
+
+    def _direct_lambda_init(self, var: Node) -> Node | None:
+        for child in self.inner(var):
+            candidate = self.strip_wrappers(child)
+            if candidate.get("kind") == "LambdaExpr":
+                return candidate
+        return None
+
+    # -- call-site handling ------------------------------------------------
+
+    def _callee_member_name(self, node: Node) -> str:
+        children = self.inner(node)
+        if not children:
+            return ""
+        callee = children[0]
+        if callee.get("kind") == "MemberExpr":
+            return str(callee.get("name", ""))
+        return ""
+
+    def _callee_ref(self, node: Node) -> tuple[str, str]:
+        """(name, decl id) for CallExpr/CXXOperatorCallExpr callees."""
+        children = self.inner(node)
+        if not children:
+            return "", ""
+        callee = self.strip_wrappers(children[0])
+        if callee.get("kind") == "DeclRefExpr":
+            decl_id, name, _ = self.ref_decl(callee)
+            return name, decl_id
+        return "", ""
+
+    def _record_call(self, kind: str, node: Node, file: str,
+                     line: int) -> None:
+        children = self.inner(node)
+        if not children:
+            return
+        entry_name = ""
+        args: list[Node] = []
+        callee_key = ""
+        if kind == "CXXMemberCallExpr":
+            entry_name = self._callee_member_name(node)
+            args = children[1:]
+        elif kind == "CallExpr":
+            entry_name, _decl_id = self._callee_ref(node)
+            args = children[1:]
+            callee_key = "fn:" + entry_name if entry_name else ""
+        else:  # CXXOperatorCallExpr — calling a lambda object
+            name, _ = self._callee_ref(node)
+            if name != "operator()" or len(children) < 2:
+                return
+            target = self.strip_wrappers(children[1])
+            if target.get("kind") == "DeclRefExpr":
+                decl_id, _, _ = self.ref_decl(target)
+                callee_key = "var:" + decl_id
+            args = children[2:]
+            entry_name = self._wrapper_display_name(callee_key)
+
+        if entry_name in ENTRY_NAMES:
+            for arg in args:
+                lam = self.find_lambda(arg)
+                if lam is not None:
+                    self.regions.append(_RegionCall(lam, entry_name,
+                                                    line, file))
+                    continue
+                stripped = self.strip_wrappers(arg)
+                if stripped.get("kind") == "DeclRefExpr":
+                    decl_id, _name, _ = self.ref_decl(stripped)
+                    if decl_id in self.lambda_vars:
+                        self.regions.append(_RegionCall(
+                            self.lambda_vars[decl_id], entry_name,
+                            line, file))
+                    elif decl_id in self.param_owner:
+                        owner = self.param_owner[decl_id]
+                        if owner.startswith("lam:"):
+                            bound = self.lambda_binding.get(owner[4:])
+                            if bound:
+                                self.wrappers.add("var:" + bound)
+                        else:
+                            self.wrappers.add(owner)
+        elif callee_key:
+            for arg in args:
+                lam = self.find_lambda(arg)
+                if lam is None:
+                    stripped = self.strip_wrappers(arg)
+                    if stripped.get("kind") == "DeclRefExpr":
+                        decl_id, _, _ = self.ref_decl(stripped)
+                        lam = self.lambda_vars.get(decl_id)
+                if lam is not None:
+                    self.wrapper_calls.append((callee_key, lam, file, line))
+
+    def _wrapper_display_name(self, callee_key: str) -> str:
+        if callee_key.startswith("var:"):
+            name, _ = self.decls.get(callee_key[4:], ("", ""))
+            return name
+        return callee_key[3:] if callee_key.startswith("fn:") else ""
+
+    def resolve_wrapper_regions(self) -> None:
+        for callee_key, lam, file, line in self.wrapper_calls:
+            if callee_key in self.wrappers:
+                entry = self._wrapper_display_name(callee_key) or "wrapper"
+                self.regions.append(_RegionCall(lam, entry, line, file))
+
+    # -- region analysis ---------------------------------------------------
+
+    def analyze_regions(self, in_repo: Callable[[str], bool]) -> None:
+        seen: set[str] = set()
+        for region in self.regions:
+            lam_id = str(region.lam.get("id", ""))
+            if lam_id and lam_id in seen:
+                continue
+            seen.add(lam_id)
+            if region.file and not in_repo(region.file):
+                continue
+            self._analyze_region(region)
+
+    def _lambda_captures(self, lam: Node) -> CaptureList:
+        file = str(lam.get("__file", ""))
+        begin = lam.get("__begin", -1)
+        if isinstance(begin, int) and begin >= 0 and file:
+            text = self._source_text(file)
+            if text and begin < len(text):
+                return parse_capture_list(text[begin:begin + 512])
+        return CaptureList(default="&", captures=[])
+
+    def _lambda_params(self, lam: Node) -> list[Node]:
+        """The lambda's ParmVarDecls live inside the closure record's
+        operator(), not as direct LambdaExpr children."""
+        for child in self.inner(lam):
+            if child.get("kind") != "CXXRecordDecl":
+                continue
+            for member in self.inner(child):
+                if member.get("kind") == "CXXMethodDecl" and \
+                        member.get("name") == "operator()":
+                    return [p for p in self.inner(member)
+                            if p.get("kind") == "ParmVarDecl"]
+        return [p for p in self.inner(lam)
+                if p.get("kind") == "ParmVarDecl"]
+
+    def _analyze_region(self, region: _RegionCall) -> None:
+        lam = region.lam
+        children = self.inner(lam)
+        params = self._lambda_params(lam)
+        body = children[-1] if children else None
+        if body is None or body.get("kind") != "CompoundStmt":
+            body = next((c for c in reversed(children)
+                         if c.get("kind") == "CompoundStmt"), None)
+        if body is None:
+            return
+        captures = self._lambda_captures(lam)
+
+        derived: set[str] = set()
+        locals_: set[str] = set()
+        aliases: dict[str, str] = {}  # ref decl id -> aliased base id
+        for p in params:
+            pid = str(p.get("id", ""))
+            if pid:
+                derived.add(pid)
+
+        # First pass over the body: declarations (locals, derived
+        # propagation, reference aliases) and nested lambda params.
+        def collect_decls(node: Node) -> None:
+            kind = node.get("kind")
+            if kind == "VarDecl":
+                decl_id = str(node.get("id", ""))
+                if decl_id:
+                    locals_.add(decl_id)
+                    init_ids = self.subtree_ref_ids(node)
+                    if init_ids & derived:
+                        derived.add(decl_id)
+                    elif self.qual_type(node).rstrip().endswith("&"):
+                        base = self._init_chain_base(node)
+                        if base:
+                            aliases[decl_id] = base
+            if kind == "LambdaExpr":
+                for p in self._lambda_params(node):
+                    pid = str(p.get("id", ""))
+                    if pid:
+                        derived.add(pid)
+            for c in self.inner(node):
+                collect_decls(c)
+
+        collect_decls(body)
+        self._find_writes(body, region, captures, derived, locals_,
+                          aliases)
+
+    def _init_chain_base(self, var: Node) -> str:
+        for child in self.inner(var):
+            chain = self._chain(self.strip_wrappers(child))
+            if chain is not None:
+                return chain[0]
+        return ""
+
+    def _chain(
+            self, node: Node) -> tuple[str, set[str], bool] | None:
+        """(base decl id, subscript/arg ref ids, is_this_member) of a
+        postfix lvalue chain, or None."""
+        subscripts: set[str] = set()
+        cur = node
+        guard = 0
+        while guard < 64:
+            guard += 1
+            cur = self.strip_wrappers(cur)
+            kind = cur.get("kind")
+            children = self.inner(cur)
+            if kind == "DeclRefExpr":
+                decl_id, _, _ = self.ref_decl(cur)
+                return (decl_id, subscripts, False) if decl_id else None
+            if kind == "MemberExpr":
+                if not children:
+                    return None
+                base = self.strip_wrappers(children[0])
+                if base.get("kind") == "CXXThisExpr":
+                    member = str(cur.get("name", "member"))
+                    return f"this.{member}", subscripts, True
+                cur = children[0]
+                continue
+            if kind == "ArraySubscriptExpr":
+                if len(children) < 2:
+                    return None
+                subscripts |= self.subtree_ref_ids(children[1])
+                cur = children[0]
+                continue
+            if kind == "CXXOperatorCallExpr":
+                name, _ = self._callee_ref(cur)
+                if name in ("operator[]", "operator*") and \
+                        len(children) >= 2:
+                    for arg in children[2:]:
+                        subscripts |= self.subtree_ref_ids(arg)
+                    cur = children[1]
+                    continue
+                return None
+            if kind in ("CXXMemberCallExpr", "CallExpr"):
+                # .at(i) / .row(n) style access on the path: the call
+                # arguments act as subscripts.
+                if not children:
+                    return None
+                callee = children[0]
+                for arg in children[1:]:
+                    subscripts |= self.subtree_ref_ids(arg)
+                cur = callee
+                continue
+            if kind == "UnaryOperator" and \
+                    cur.get("opcode") in ("*", "&"):
+                if not children:
+                    return None
+                cur = children[0]
+                continue
+            return None
+        return None
+
+    def _find_writes(self, node: Node, region: _RegionCall,
+                     captures: CaptureList, derived: set[str],
+                     locals_: set[str], aliases: dict[str, str]) -> None:
+        kind = str(node.get("kind", ""))
+        file = str(node.get("__file", ""))
+        line = int(node.get("__line", 0))
+        children = self.inner(node)
+
+        target: Node | None = None
+        op = ""
+        fp_hint = False
+        if kind == "BinaryOperator" and node.get("opcode") == "=":
+            target, op = (children[0] if children else None), "="
+        elif kind == "CompoundAssignOperator":
+            op = str(node.get("opcode", "?="))
+            target = children[0] if children else None
+            fp_hint = any(t in self.qual_type(node)
+                          for t in ("double", "float"))
+        elif kind == "UnaryOperator" and \
+                node.get("opcode") in ("++", "--"):
+            op = str(node.get("opcode"))
+            target = children[0] if children else None
+        elif kind == "CXXOperatorCallExpr":
+            name, _ = self._callee_ref(node)
+            if name.startswith("operator") and \
+                    name[len("operator"):] in _WRITE_OPS and \
+                    len(children) >= 2:
+                op = name[len("operator"):]
+                target = children[1]
+        elif kind == "CXXMemberCallExpr":
+            member = self._callee_member_name(node)
+            if member in MUTATORS and children:
+                callee = children[0]
+                base_children = self.inner(callee)
+                if base_children:
+                    op = member
+                    target = base_children[0]
+
+        if target is not None and op:
+            self._classify_write(target, op, fp_hint, region, captures,
+                                 derived, locals_, aliases, file, line)
+
+        for child in children:
+            if kind == "LambdaExpr" and \
+                    child.get("kind") == "CXXRecordDecl":
+                continue
+            self._find_writes(child, region, captures, derived, locals_,
+                              aliases)
+
+    def _classify_write(self, target: Node, op: str, fp_hint: bool,
+                        region: _RegionCall, captures: CaptureList,
+                        derived: set[str], locals_: set[str],
+                        aliases: dict[str, str], file: str,
+                        line: int) -> None:
+        chain = self._chain(target)
+        if chain is None:
+            return
+        base, subscripts, is_this_member = chain
+        if base in derived:
+            return
+        if base in aliases:
+            base = aliases[base]
+            if base in derived:
+                return
+        elif base in locals_:
+            return
+        if subscripts & derived:
+            return
+        if is_this_member:
+            name = base.split(".", 1)[1]
+            qual = ""
+            shared = captures.is_shared("this", True) or \
+                captures.is_shared(name, True)
+        else:
+            name, qual = self.decls.get(base, (base, ""))
+            shared = captures.is_shared(name, looks_member(name))
+        if not shared:
+            return
+        is_fp = fp_hint or "double" in qual or "float" in qual
+        if "atomic" in qual and not is_fp:
+            return
+        fp_accum = op in ("+=", "-=") and is_fp
+        self.facts.writes.append(ParallelWrite(
+            file=file, line=line, var=name, op=op, fp_accum=fp_accum,
+            region_entry=region.entry, region_line=region.line))
+
+    # -- cross-TU fact extraction -----------------------------------------
+
+    def _arg_text(self, arg: Node, file: str) -> str:
+        begin = arg.get("__begin", -1)
+        end = arg.get("__end", -1)
+        if isinstance(begin, int) and isinstance(end, int):
+            text = self.slice(file, begin, end)
+            if text:
+                return " ".join(text.split())
+        return f"<arg@{arg.get('__line', 0)}>"
+
+    def _maybe_seed_site(self, node: Node, file: str, line: int) -> None:
+        name, _ = self._callee_ref(node)
+        if name != "derive_seed":
+            return
+        args = self.inner(node)[1:]
+        if len(args) < 2:
+            return
+        tag_name = ""
+        for ref in self._subtree_ref_names(args[1]):
+            if ref.startswith("k"):
+                tag_name = ref
+        if not tag_name:
+            return
+        base_text = self._arg_text(args[0], file)
+        substream = ", ".join(
+            self._arg_text(a, file) for a in args[2:]) if len(args) > 2 \
+            else ""
+        self.facts.seeds.append(SeedSite(
+            file=file, line=line,
+            function=str(node.get("__fn", "")),
+            base_text=base_text, tag_name=tag_name,
+            substream_text=substream))
+
+    def _subtree_ref_names(self, node: Node) -> list[str]:
+        names: list[str] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.get("kind") == "DeclRefExpr":
+                _, name, _ = self.ref_decl(cur)
+                if name:
+                    names.append(name)
+            stack.extend(self.inner(cur))
+        return names
+
+    def _string_literal(self, node: Node) -> str | None:
+        stack = [node]
+        guard = 0
+        while stack and guard < 64:
+            guard += 1
+            cur = self.strip_wrappers(stack.pop())
+            if cur.get("kind") == "StringLiteral":
+                value = str(cur.get("value", ""))
+                if len(value) >= 2 and value.startswith('"'):
+                    return value[1:-1]
+                return value
+            stack.extend(self.inner(cur))
+        return None
+
+    def _maybe_free_metric(self, node: Node, file: str,
+                           line: int) -> None:
+        name, _ = self._callee_ref(node)
+        kind = _FREE_METRIC_KINDS.get(name)
+        if kind is None:
+            return
+        args = self.inner(node)[1:]
+        if not args:
+            return
+        metric = self._string_literal(args[0])
+        if metric is None:
+            return
+        self.facts.metrics.append(MetricSite(
+            file=file, line=line, kind=kind, name=metric))
+
+    def _maybe_member_metric(self, node: Node, file: str,
+                             line: int) -> None:
+        member = self._callee_member_name(node)
+        kind = _MEMBER_METRIC_KINDS.get(member)
+        if kind is None:
+            return
+        args = self.inner(node)[1:]
+        if not args:
+            return
+        metric = self._string_literal(args[0])
+        if metric is None:
+            return
+        self.facts.metrics.append(MetricSite(
+            file=file, line=line, kind=kind, name=metric))
+
+    def _maybe_phase_timer(self, node: Node, file: str,
+                           line: int) -> None:
+        if "ScopedTimer" not in self.qual_type(node):
+            return
+        args = self.inner(node)
+        if not args:
+            return
+        metric = self._string_literal(args[0])
+        if metric is None:
+            return
+        self.facts.metrics.append(MetricSite(
+            file=file, line=line, kind="phase", name=metric))
+
+
+def lower_ast(root: Node, source: str,
+              in_repo: Callable[[str], bool]) -> TUFacts:
+    """Lowers a TranslationUnitDecl JSON node to TUFacts.
+
+    `in_repo` is a predicate over file paths: facts located outside the
+    repository (system headers) are dropped, facts in repo headers are
+    kept and attributed to the header.
+    """
+    lowering = _Lowering(source=source, facts=TUFacts(source=source))
+    lowering.visit(root)
+    lowering.extract_sites()
+    lowering.resolve_wrapper_regions()
+    lowering.analyze_regions(in_repo)
+    facts = lowering.facts
+    facts.writes = [w for w in facts.writes if in_repo(w.file)]
+    facts.seeds = [s for s in facts.seeds if in_repo(s.file)]
+    facts.metrics = [m for m in facts.metrics if in_repo(m.file)]
+    return facts
+

@@ -1,0 +1,14 @@
+// Fixture: CORP-OBS-002 must fire — see sim_side/publish.cpp; this is
+// the second subsystem publishing the same metric name.
+namespace corp::obs {
+void count(const char* name);
+}  // namespace corp::obs
+
+namespace corp::fixture_sched {
+
+void on_job_admitted() {
+  obs::count("fixture.jobs_admitted");  // violation: also published by
+                                        // sim_side/publish.cpp
+}
+
+}  // namespace corp::fixture_sched

@@ -1,0 +1,15 @@
+// Fixture: CORP-OBS-002 must fire — this subsystem and sched_side/
+// both publish `fixture.jobs_admitted`, so the registry silently sums
+// two unrelated counters and the per-subsystem dashboards double-count.
+namespace corp::obs {
+void count(const char* name);
+}  // namespace corp::obs
+
+namespace corp::fixture_sim {
+
+void on_job_admitted() {
+  obs::count("fixture.jobs_admitted");  // violation: also published by
+                                        // sched_side/publish.cpp
+}
+
+}  // namespace corp::fixture_sim

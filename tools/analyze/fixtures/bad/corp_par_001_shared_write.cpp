@@ -1,0 +1,36 @@
+// Fixture: CORP-PAR-001 must fire — a lambda handed to
+// util::ThreadPool::parallel_for writes captured shared state that is
+// not indexed by the loop variable, so iterations race and the final
+// value depends on the thread schedule.
+//
+// Self-contained stub of the pool API: the analyzer keys on the call
+// shape (`.parallel_for(n, [..](std::size_t i) {..})`), not on the
+// real header.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace corp::util {
+class ThreadPool {
+ public:
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+};
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+std::size_t count_positive(corp::util::ThreadPool& pool,
+                           const std::vector<int>& xs) {
+  std::size_t hits = 0;
+  std::vector<int> order;
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    if (xs[i] > 0) {
+      hits += 1;               // violation: racy shared counter
+      order.push_back(xs[i]);  // violation: container mutation races
+    }
+  });
+  return hits + order.size();
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,29 @@
+// Fixture: CORP-PAR-002 must fire — floating-point `+=` accumulation
+// into a captured shared double inside a parallel region. Even if the
+// individual adds were synchronized, the summation ORDER follows the
+// thread schedule, and floating-point addition is not associative, so
+// parallel != serial bit-for-bit.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace corp::util {
+class ThreadPool {
+ public:
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+};
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+double total_usage(corp::util::ThreadPool& pool,
+                   const std::vector<double>& usage) {
+  double sum = 0.0;
+  pool.parallel_for(usage.size(), [&](std::size_t i) {
+    sum += usage[i];  // violation: order-dependent fp reduction
+  });
+  return sum;
+}
+
+}  // namespace corp::fixture

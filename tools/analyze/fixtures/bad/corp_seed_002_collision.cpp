@@ -1,0 +1,43 @@
+// Fixture: CORP-SEED-002 must fire — two flavors of cross-TU seed
+// misuse the registry's static_assert cannot see:
+//
+//   * two distinct call sites derive the identical (base, tag,
+//     substream) triple, so "independent" streams are byte-identical;
+//   * a tag is re-derived from a base that was already derived with
+//     the same tag, aliasing the stream with its own parent.
+#include <cstdint>
+
+namespace corp::util {
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t substream);
+
+namespace seed_stream {
+inline constexpr std::uint64_t kFixtureWorkload = 0x57524b4cULL;
+}  // namespace seed_stream
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+using util::seed_stream::kFixtureWorkload;
+
+std::uint64_t training_stream(std::uint64_t base) {
+  // violation (collision, site 1 of 2)
+  return util::derive_seed(base, kFixtureWorkload);
+}
+
+std::uint64_t evaluation_stream(std::uint64_t base) {
+  // violation (collision, site 2 of 2): same base text, same tag, no
+  // distinguishing substream — draws training_stream's exact stream.
+  return util::derive_seed(base, kFixtureWorkload);
+}
+
+std::uint64_t replica_stream(std::uint64_t seed, std::uint64_t replica) {
+  // violation (re-derivation): the inner derive already consumed
+  // kFixtureWorkload; deriving with it again aliases parent and child.
+  return util::derive_seed(
+      util::derive_seed(seed, kFixtureWorkload), kFixtureWorkload,
+      replica);
+}
+
+}  // namespace corp::fixture

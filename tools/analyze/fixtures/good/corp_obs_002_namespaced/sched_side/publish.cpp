@@ -1,0 +1,11 @@
+// Fixture: must stay silent — this subsystem publishes its own
+// namespaced names; nothing collides with sim_side/.
+namespace corp::obs {
+void count(const char* name);
+}  // namespace corp::obs
+
+namespace corp::fixture_sched {
+
+void on_place() { obs::count("fixture.sched.placements"); }
+
+}  // namespace corp::fixture_sched

@@ -1,0 +1,19 @@
+// Fixture: must stay silent — metric names are namespaced per
+// subsystem, and the one name published twice (`fixture.sim.ticks`)
+// stays within this directory, which is legitimate (two entry points
+// of one subsystem feeding one counter).
+namespace corp::obs {
+void count(const char* name);
+void set_gauge(const char* name, double value);
+}  // namespace corp::obs
+
+namespace corp::fixture_sim {
+
+void on_tick() { obs::count("fixture.sim.ticks"); }
+
+void on_replay_tick() {
+  obs::count("fixture.sim.ticks");  // same subsystem: allowed
+  obs::set_gauge("fixture.sim.depth", 1.0);
+}
+
+}  // namespace corp::fixture_sim

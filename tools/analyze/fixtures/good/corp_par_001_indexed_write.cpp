@@ -1,0 +1,48 @@
+// Fixture: must stay silent — every parallel-region write is either
+// indexed by the loop variable (each iteration owns its slot), local
+// to the iteration, derived from the loop variable through a local, an
+// atomic integer (commutative, order-free), or a private by-value
+// copy.
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace corp::util {
+class ThreadPool {
+ public:
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+};
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+struct Row {
+  std::vector<double> cells;
+};
+
+void transform(corp::util::ThreadPool& pool, const std::vector<int>& xs,
+               std::vector<double>& out, std::vector<Row>& rows,
+               std::atomic<std::size_t>& progress) {
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    double scratch = 0.0;           // iteration-local accumulator
+    scratch += static_cast<double>(xs[i]);
+    const std::size_t slot = i / 2;  // derived from the loop variable
+    Row& row = rows[i];              // reference alias to an owned slot
+    row.cells.push_back(scratch);
+    out[slot] = scratch;             // indexed by a derived value
+    progress.fetch_add(1);           // commutative atomic integer
+  });
+}
+
+void private_copy(corp::util::ThreadPool& pool, std::size_t n,
+                  std::vector<double>& out) {
+  std::size_t cursor = 0;
+  pool.parallel_for(n, [&out, cursor](std::size_t i) mutable {
+    cursor += i;       // by-value capture: a private copy per closure
+    out[i] = static_cast<double>(cursor);
+  });
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,31 @@
+// Fixture: must stay silent — the deterministic reduction idiom. Each
+// worker accumulates into its own slot of a pre-sized partial-sums
+// table (indexed by the loop variable), and the cross-slot reduction
+// happens serially after the parallel region, so the summation order
+// is fixed no matter how iterations interleave.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace corp::util {
+class ThreadPool {
+ public:
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+};
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+double total_usage(corp::util::ThreadPool& pool,
+                   const std::vector<double>& usage) {
+  std::vector<double> partial(usage.size(), 0.0);
+  pool.parallel_for(usage.size(), [&](std::size_t i) {
+    partial[i] += usage[i];  // per-iteration slot: no shared order
+  });
+  double sum = 0.0;  // serial reduction in index order
+  for (std::size_t i = 0; i < partial.size(); ++i) sum += partial[i];
+  return sum;
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,37 @@
+// Fixture: must stay silent — every derive_seed call site draws a
+// distinct stream: different tags for different contexts, and the two
+// sites sharing a tag are distinguished by a substream argument.
+#include <cstdint>
+
+namespace corp::util {
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t substream);
+
+namespace seed_stream {
+inline constexpr std::uint64_t kFixtureTraining = 0x4654524eULL;
+inline constexpr std::uint64_t kFixtureReplica = 0x4652504cULL;
+}  // namespace seed_stream
+}  // namespace corp::util
+
+namespace corp::fixture {
+
+using util::seed_stream::kFixtureReplica;
+using util::seed_stream::kFixtureTraining;
+
+std::uint64_t training_stream(std::uint64_t base) {
+  return util::derive_seed(base, kFixtureTraining);
+}
+
+std::uint64_t replica_stream(std::uint64_t base, std::uint64_t replica) {
+  return util::derive_seed(base, kFixtureReplica, replica);
+}
+
+std::uint64_t replica_fault_stream(std::uint64_t base,
+                                   std::uint64_t replica) {
+  // Same tag as replica_stream but a different substream expression:
+  // the (base, tag, substream) triple stays unique.
+  return util::derive_seed(base, kFixtureReplica, replica * 2 + 1);
+}
+
+}  // namespace corp::fixture

@@ -1,0 +1,187 @@
+"""Frontend-agnostic facts, findings and helpers for corp_analyze.
+
+Both frontends (the clang AST-JSON lowering and the micro fallback
+parser) reduce a translation unit to the same small ``TUFacts`` record;
+the rules in ``rules.py`` only ever see that record, so a rule fires
+identically no matter which frontend produced the facts. TUFacts is
+round-trippable through JSON — that is what the analyzer caches per
+file, keyed on (source hash, flags hash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Bump when the fact schema or the lowering semantics change: stale
+#: cache entries must not satisfy a newer analyzer.
+FACTS_SCHEMA_VERSION = 3
+
+
+@dataclass(frozen=True)
+class ParallelWrite:
+    """A hazardous write inside a parallel-region lambda.
+
+    Frontends only emit writes that are already classified as hazardous:
+    the target is captured by reference (or is reachable shared state),
+    is not declared inside the lambda, and no subscript on the access
+    path involves the loop/shard variable or a value derived from it.
+    """
+
+    file: str
+    line: int
+    var: str  # base identifier of the written lvalue chain
+    op: str  # "=", "+=", "++", "push_back", ...
+    fp_accum: bool  # compound +=/-= with a floating-point target
+    region_entry: str  # "parallel_for", "submit", or a wrapper name
+    region_line: int
+
+
+@dataclass(frozen=True)
+class SeedSite:
+    """One util::derive_seed call site."""
+
+    file: str
+    line: int
+    function: str  # qualified enclosing function ("" when unknown)
+    base_text: str  # source text of the base-seed argument
+    tag_name: str  # named stream constant ("" for literals/expressions)
+    substream_text: str  # source text of the substream argument, or ""
+
+
+@dataclass(frozen=True)
+class MetricSite:
+    """One obs::MetricRegistry name registration/emission site."""
+
+    file: str
+    line: int
+    kind: str  # "counter" | "gauge" | "histogram" | "phase"
+    name: str  # the literal metric name
+
+
+@dataclass(frozen=True)
+class RegistryTag:
+    """One named constant in the seed_stream registry header."""
+
+    name: str
+    line: int
+
+
+@dataclass
+class TUFacts:
+    """Everything one translation unit contributes to the rules."""
+
+    source: str
+    writes: list[ParallelWrite] = field(default_factory=list)
+    seeds: list[SeedSite] = field(default_factory=list)
+    metrics: list[MetricSite] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": FACTS_SCHEMA_VERSION,
+            "source": self.source,
+            "writes": [asdict(w) for w in self.writes],
+            "seeds": [asdict(s) for s in self.seeds],
+            "metrics": [asdict(m) for m in self.metrics],
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> TUFacts | None:
+        """None when the payload is from a different schema version."""
+        if data.get("schema") != FACTS_SCHEMA_VERSION:
+            return None
+        try:
+            return TUFacts(
+                source=str(data["source"]),
+                writes=[ParallelWrite(**w) for w in data["writes"]],
+                seeds=[SeedSite(**s) for s in data["seeds"]],
+                metrics=[MetricSite(**m) for m in data["metrics"]],
+            )
+        except (KeyError, TypeError):
+            return None
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def merge_facts(per_tu: list[TUFacts]) -> TUFacts:
+    """Union of facts across TUs, deduplicated by site.
+
+    Facts discovered in headers are re-seen from every TU that includes
+    them (and template bodies from every instantiating TU); a site is
+    identified by its (file, line, payload) so the merge is stable no
+    matter how many TUs report it.
+    """
+    merged = TUFacts(source="<merged>")
+    merged.writes = sorted(
+        {w for facts in per_tu for w in facts.writes},
+        key=lambda w: (w.file, w.line, w.var, w.op))
+    merged.seeds = sorted(
+        {s for facts in per_tu for s in facts.seeds},
+        key=lambda s: (s.file, s.line, s.tag_name))
+    merged.metrics = sorted(
+        {m for facts in per_tu for m in facts.metrics},
+        key=lambda m: (m.file, m.line, m.kind, m.name))
+    return merged
+
+
+def subsystem_of(path: str) -> str:
+    """Publication scope for CORP-OBS-002.
+
+    src/<dir> files map to that subsystem directory; anything else maps
+    to its immediate parent directory (bench/, tools/, fixture dirs).
+    Two files in the same subsystem may legitimately publish the same
+    metric (e.g. the serial and parallel DNN trainers); two different
+    subsystems silently double-publishing is the hazard.
+    """
+    parts = Path(path).parts
+    if "src" in parts:
+        i = parts.index("src")
+        if i + 2 < len(parts):  # src/<dir>/file
+            return "/".join(parts[i:i + 2])
+        return "src"
+    if len(parts) >= 2:
+        return parts[-2]
+    return "."
+
+
+class SuppressionIndex:
+    """Per-rule `// lint: <tag>` suppressions, same scheme as corp_lint.
+
+    A justification comment on the finding line or the line directly
+    above silences the rule; the tag is rule-specific so the comment
+    documents *why* the pattern is safe.
+    """
+
+    def __init__(self) -> None:
+        self._lines: dict[str, list[str]] = {}
+
+    def _file_lines(self, path: str) -> list[str]:
+        cached = self._lines.get(path)
+        if cached is not None:
+            return cached
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            text = ""
+        lines = text.splitlines()
+        self._lines[path] = lines
+        return lines
+
+    def justified(self, path: str, line: int, tag: str) -> bool:
+        lines = self._file_lines(path)
+        for probe in (line, line - 1):
+            if 1 <= probe <= len(lines):
+                text = lines[probe - 1]
+                if f"lint: {tag}" in text or f"lint:{tag}" in text:
+                    return True
+        return False

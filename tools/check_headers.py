@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
 """Header self-containment check for the CORP tree.
 
-Every public header under src/ must compile as the first (and only)
-include of a translation unit — i.e. it pulls in everything it uses and
-leans on no accidental include order. For each header this script writes
-a one-line TU:
+Every public header under src/ — plus the helper headers under bench/
+and tools/ — must compile as the first (and only) include of a
+translation unit — i.e. it pulls in everything it uses and leans on no
+accidental include order. For each header this script writes a one-line
+TU:
 
     #include "dnn/matrix.hpp"
 
-and compiles it with ``$CXX -std=c++20 -fsyntax-only -I src``. A header
-that only compiles when someone else included <vector> first breaks the
-next refactor in a different TU — exactly the class of rot a growing
-tree accumulates silently.
+and compiles it with ``$CXX -std=c++20 -fsyntax-only -I src`` (headers
+outside src/ get their own scan root appended to the include path, so
+``bench/figure_common.hpp`` resolves both its siblings and src/
+headers). A header that only compiles when someone else included
+<vector> first breaks the next refactor in a different TU — exactly the
+class of rot a growing tree accumulates silently. Analyzer fixtures
+under tools/analyze/fixtures/ are deliberately broken code and are
+skipped.
 
 Runs as a CTest (``headers_selfcontained``) and in the static-analysis
 CI job. Exit status: 0 when every header compiles, 1 otherwise, 2 on
@@ -28,24 +33,32 @@ from collections.abc import Sequence
 from pathlib import Path
 
 
-def find_headers(src_root: Path) -> list[Path]:
-    return sorted(p for p in src_root.rglob("*.hpp") if p.is_file())
+def find_headers(scan_root: Path) -> list[Path]:
+    headers = []
+    for path in sorted(scan_root.rglob("*.hpp")):
+        if not path.is_file():
+            continue
+        # Fixture code is intentionally non-compiling lint bait.
+        if "fixtures" in path.relative_to(scan_root).parts:
+            continue
+        headers.append(path)
+    return headers
 
 
 def check_header(
-        compiler: str, src_root: Path, header: Path,
+        compiler: str, src_root: Path, scan_root: Path, header: Path,
         extra_flags: Sequence[str]) -> subprocess.CompletedProcess[str]:
-    rel = header.relative_to(src_root).as_posix()
+    rel = header.relative_to(scan_root).as_posix()
     with tempfile.NamedTemporaryFile(
             mode="w", suffix=".cpp", prefix="corp_header_tu_",
             delete=False) as handle:
         handle.write(f'#include "{rel}"\n')
         tu_path = Path(handle.name)
     try:
-        command = [
-            compiler, "-std=c++20", "-fsyntax-only",
-            f"-I{src_root}", *extra_flags, str(tu_path),
-        ]
+        command = [compiler, "-std=c++20", "-fsyntax-only", f"-I{src_root}"]
+        if scan_root != src_root:
+            command.append(f"-I{scan_root}")
+        command += [*extra_flags, str(tu_path)]
         return subprocess.run(
             command, capture_output=True, text=True, check=False)
     finally:
@@ -75,16 +88,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"check_headers: no src/ under {root}", file=sys.stderr)
         return 2
 
-    headers = find_headers(src_root)
+    scan_roots = [src_root]
+    for extra in ("bench", "tools"):
+        extra_root = root / extra
+        if extra_root.is_dir():
+            scan_roots.append(extra_root)
+
+    headers = [(scan_root, header)
+               for scan_root in scan_roots
+               for header in find_headers(scan_root)]
     if not headers:
         print(f"check_headers: no headers found under {src_root}",
               file=sys.stderr)
         return 2
 
     failures = 0
-    for header in headers:
-        result = check_header(args.compiler, src_root, header, args.flags)
-        rel = header.relative_to(src_root).as_posix()
+    for scan_root, header in headers:
+        result = check_header(
+            args.compiler, src_root, scan_root, header, args.flags)
+        rel = header.relative_to(root).as_posix()
         if result.returncode == 0:
             print(f"ok: {rel}")
         else:
