@@ -11,9 +11,17 @@
 //                 job stream against phase 1 (the parallel==serial
 //                 determinism contract, re-checked on the real input
 //                 before any timing is trusted, scale_study-style);
-//   3. replay   — trains on a synthetic corpus, then streams the file
-//                 into Simulation::run(JobSource&); publishes
-//                 sim.slots_per_second.
+//   3. replay   — trains on a synthetic corpus (generated once, before
+//                 any replay run — fixture metadata is CLI-independent
+//                 and must not be re-derived per run), then streams the
+//                 file into Simulation::run(JobSource&); publishes
+//                 sim.slots_per_second. With --clock both the file is
+//                 replayed under the dense tick-every-slot clock and the
+//                 event-driven clock (sim/slot_clock.hpp) from the same
+//                 hoisted training corpus, and the two results must
+//                 match bit for bit; --require-skips N additionally
+//                 demands the event run skipped at least N slots (the
+//                 CI sparse-fixture gate).
 //
 // The CI trace-ingest job runs this under an address-space ceiling
 // (ulimit -v) against a ~100 MiB generated fixture: the run only fits if
@@ -22,12 +30,14 @@
 //
 // CLI: --trace PATH [--schema google-v2|azure-vm] [--long-tasks drop|segment]
 //      [--chunk-kb K] [--threads N] [--seed S] [--replay 0|1]
-//      [--env cluster|ec2|slurm-het] [--json PATH] [--metrics-out PATH]
-//      [--no-metrics 1]
+//      [--clock dense|event|both] [--predict-cadence slot|window]
+//      [--require-skips N] [--env cluster|ec2|slurm-het] [--json PATH]
+//      [--metrics-out PATH] [--no-metrics 1]
 #include <bit>
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +46,7 @@
 #include "obs/metrics.hpp"
 #include "sim/job_source.hpp"
 #include "sim/simulation.hpp"
+#include "sim/slot_clock.hpp"
 #include "sim/workloads.hpp"
 #include "trace/generator.hpp"
 #include "trace/stream_reader.hpp"
@@ -53,6 +64,10 @@ struct Options {
   cluster::EnvironmentConfig environment =
       cluster::EnvironmentConfig::PalmettoCluster();
   bool replay = true;
+  bool replay_dense = false;
+  bool replay_event = true;
+  sim::PredictCadence cadence = sim::PredictCadence::kEverySlot;
+  std::int64_t require_skips = 0;
   bench::BenchOptions bench;
 };
 
@@ -60,7 +75,8 @@ Options parse(int argc, char** argv) try {
   const util::ArgParser args(
       argc, argv, 1,
       {"trace", "schema", "long-tasks", "chunk-kb", "threads", "seed",
-       "replay", "env", "json", "metrics-out", "no-metrics"});
+       "replay", "clock", "predict-cadence", "require-skips", "env", "json",
+       "metrics-out", "no-metrics"});
   Options opts;
   opts.trace_path = args.get("trace", "");
   if (opts.trace_path.empty()) {
@@ -80,6 +96,25 @@ Options parse(int argc, char** argv) try {
   if (chunk_kb == 0) throw std::invalid_argument("--chunk-kb must be >= 1");
   opts.stream.chunk_bytes = chunk_kb * 1024;
   opts.replay = args.get_int("replay", 1) != 0;
+  const std::string clock = args.get("clock", "event");
+  if (clock == "both") {
+    opts.replay_dense = true;
+    opts.replay_event = true;
+  } else {
+    const sim::SlotClockMode mode = sim::parse_slot_clock(clock);
+    opts.replay_dense = mode == sim::SlotClockMode::kDense;
+    opts.replay_event = mode == sim::SlotClockMode::kEvent;
+  }
+  opts.cadence =
+      sim::parse_predict_cadence(args.get("predict-cadence", "slot"));
+  opts.require_skips = args.get_int("require-skips", 0);
+  if (opts.require_skips < 0) {
+    throw std::invalid_argument("--require-skips must be >= 0");
+  }
+  if (opts.require_skips > 0 && !opts.replay_event) {
+    throw std::invalid_argument(
+        "--require-skips needs an event-clock replay (--clock event|both)");
+  }
   const std::string env = args.get("env", "cluster");
   if (env == "cluster") {
     opts.environment = cluster::EnvironmentConfig::PalmettoCluster();
@@ -101,8 +136,10 @@ Options parse(int argc, char** argv) try {
   std::cerr << "error: " << e.what() << '\n'
             << "usage: trace_replay --trace PATH [--schema S]"
                " [--long-tasks drop|segment] [--chunk-kb K] [--threads N]"
-               " [--seed S] [--replay 0|1] [--env E] [--json PATH]"
-               " [--metrics-out PATH] [--no-metrics 1]\n";
+               " [--seed S] [--replay 0|1] [--clock dense|event|both]"
+               " [--predict-cadence slot|window] [--require-skips N]"
+               " [--env E] [--json PATH] [--metrics-out PATH]"
+               " [--no-metrics 1]\n";
   std::exit(2);
 }
 
@@ -147,6 +184,64 @@ struct IngestResult {
   std::uint64_t jobs = 0;
   double wall_ms = 0.0;
 };
+
+struct ReplayOutcome {
+  sim::SimulationResult result;
+  double run_ms = 0.0;
+  std::size_t peak_live_jobs = 0;
+};
+
+/// One streamed replay of the trace under the given clock mode. The
+/// training corpus is hoisted by the caller — it depends only on the
+/// seed and environment, never on the clock — so every mode trains an
+/// identical predictor stack from the same trace.
+ReplayOutcome run_replay(const Options& opts, util::ThreadPool* pool,
+                         const sim::ExperimentConfig& experiment,
+                         const trace::Trace& training,
+                         sim::SlotClockMode clock) {
+  sim::SimulationConfig config = sim::make_simulation_config(
+      experiment, sim::Method::kCorp, /*aggressiveness=*/0.35);
+  config.params.slot_clock = clock;
+  config.params.predict_cadence = opts.cadence;
+  sim::Simulation simulation(std::move(config));
+  simulation.train(training);
+
+  trace::StreamReader reader(opts.trace_path, opts.stream, pool);
+  sim::StreamingJobSource source(reader);
+  ReplayOutcome outcome;
+  const bench::BenchTimer replay_wall;
+  outcome.result = simulation.run(source);
+  outcome.run_ms = replay_wall.elapsed_ms();
+  outcome.peak_live_jobs = source.peak_live_jobs();
+  return outcome;
+}
+
+/// Clock-mode differential for --clock both: every result field must
+/// match bit for bit except the clock diagnostics (ticked/skipped differ
+/// by design) and wall-clock latencies.
+void check_clock_identity(const ReplayOutcome& dense,
+                          const ReplayOutcome& event) {
+  const sim::SimulationResult& d = dense.result;
+  const sim::SimulationResult& e = event.result;
+  const bool identical =
+      d.overall_utilization == e.overall_utilization &&
+      d.overall_wastage == e.overall_wastage &&
+      d.slo_violation_rate == e.slo_violation_rate &&
+      d.mean_stretch == e.mean_stretch &&
+      d.jobs_completed == e.jobs_completed &&
+      d.jobs_violated == e.jobs_violated && d.jobs_forced == e.jobs_forced &&
+      d.opportunistic_placements == e.opportunistic_placements &&
+      d.reserved_placements == e.reserved_placements &&
+      d.lease_promotions == e.lease_promotions &&
+      d.lease_preemptions == e.lease_preemptions &&
+      d.predictions_amortized == e.predictions_amortized &&
+      d.slots_simulated == e.slots_simulated &&
+      dense.peak_live_jobs == event.peak_live_jobs;
+  if (!identical) {
+    throw std::logic_error(
+        "trace_replay: dense/event clock divergence on streamed replay");
+  }
+}
 
 IngestResult ingest(const Options& opts,
                     const trace::StreamReaderConfig& config,
@@ -238,6 +333,10 @@ int main(int argc, char** argv) try {
 
   // --- 3. streamed replay ------------------------------------------------
   if (opts.replay) {
+    // Hoisted fixture metadata: the experiment shape and the synthetic
+    // training corpus depend only on CLI seed/environment, so they are
+    // derived exactly once here — never re-parsed or re-generated per
+    // replay run, even when --clock both replays the file twice.
     sim::ExperimentConfig experiment;
     experiment.environment = opts.environment;
     experiment.seed = opts.bench.seed;
@@ -248,32 +347,61 @@ int main(int argc, char** argv) try {
     util::Rng train_rng(sim::training_seed(experiment.seed));
     const trace::Trace training = train_gen.generate(train_rng);
 
-    sim::SimulationConfig config = sim::make_simulation_config(
-        experiment, sim::Method::kCorp, /*aggressiveness=*/0.35);
-    sim::Simulation simulation(std::move(config));
-    simulation.train(training);
-
-    trace::StreamReader reader(opts.trace_path, opts.stream, pool.get());
-    sim::StreamingJobSource source(reader);
-    const bench::BenchTimer replay_wall;
-    const sim::SimulationResult result = simulation.run(source);
-    const double slots_per_sec =
-        static_cast<double>(result.slots_simulated) * 1e3 /
-        std::max(replay_wall.elapsed_ms(), 1e-6);
-    obs::set_gauge("sim.slots_per_second", slots_per_sec);
-    obs::set_gauge("trace.peak_live_jobs",
-                   static_cast<double>(source.peak_live_jobs()));
-
-    util::TextTable replay_table({"phase", "slots", "slots/s", "completed",
-                                  "overall util", "slo violation",
+    util::TextTable replay_table({"phase", "slots", "ticked", "skipped",
+                                  "slots/s", "completed", "overall util",
                                   "peak live"});
-    replay_table.add_row(
-        "replay", {static_cast<double>(result.slots_simulated), slots_per_sec,
-                   static_cast<double>(result.jobs_completed),
-                   result.overall_utilization, result.slo_violation_rate,
-                   static_cast<double>(source.peak_live_jobs())});
+    const auto report = [&replay_table, &points](const char* phase,
+                                                 const ReplayOutcome& run) {
+      const double slots_per_sec =
+          static_cast<double>(run.result.slots_simulated) * 1e3 /
+          std::max(run.run_ms, 1e-6);
+      replay_table.add_row(
+          phase, {static_cast<double>(run.result.slots_simulated),
+                  static_cast<double>(run.result.slots_ticked),
+                  static_cast<double>(run.result.slots_skipped),
+                  slots_per_sec,
+                  static_cast<double>(run.result.jobs_completed),
+                  run.result.overall_utilization,
+                  static_cast<double>(run.peak_live_jobs)});
+      ++points;
+      return slots_per_sec;
+    };
+
+    std::optional<ReplayOutcome> dense;
+    if (opts.replay_dense) {
+      dense = run_replay(opts, pool.get(), experiment, training,
+                         sim::SlotClockMode::kDense);
+      const double rate = report("replay.dense", *dense);
+      obs::set_gauge("trace.replay.slots_per_second.dense", rate);
+    }
+    std::optional<ReplayOutcome> event;
+    if (opts.replay_event) {
+      event = run_replay(opts, pool.get(), experiment, training,
+                         sim::SlotClockMode::kEvent);
+      const double rate = report("replay.event", *event);
+      obs::set_gauge("trace.replay.slots_per_second.event", rate);
+    }
     std::cout << replay_table.to_string();
-    ++points;
+
+    if (dense.has_value() && event.has_value()) {
+      check_clock_identity(*dense, *event);
+      std::cout << "clock differential: dense and event replays matched ("
+                << event->result.slots_skipped << " slots skipped)\n";
+    }
+    if (opts.require_skips > 0 &&
+        event->result.slots_skipped < opts.require_skips) {
+      throw std::logic_error(
+          "trace_replay: event clock skipped " +
+          std::to_string(event->result.slots_skipped) + " slots, required " +
+          std::to_string(opts.require_skips));
+    }
+
+    const ReplayOutcome& headline = event.has_value() ? *event : *dense;
+    obs::set_gauge("sim.slots_per_second",
+                   static_cast<double>(headline.result.slots_simulated) *
+                       1e3 / std::max(headline.run_ms, 1e-6));
+    obs::set_gauge("trace.peak_live_jobs",
+                   static_cast<double>(headline.peak_live_jobs));
   }
 
   bench::finish(opts.bench, "trace_replay", total, points, workers);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 #include "util/seed_streams.hpp"
@@ -122,6 +123,17 @@ std::span<const VmTransition> FaultInjector::transitions_at(std::int64_t t) {
   const std::size_t begin = cursor_;
   while (cursor_ < all.size() && all[cursor_].slot == t) ++cursor_;
   return {all.data() + begin, cursor_ - begin};
+}
+
+std::int64_t FaultInjector::next_transition_slot(std::int64_t t) const {
+  const auto& all = plan_.transitions();
+  // The cursor already sits past every slot < the last transitions_at(t),
+  // so scanning from it is exact for the engine's non-decreasing queries;
+  // the plan is sorted by (slot, vm_id), so the first hit is the minimum.
+  for (std::size_t i = cursor_; i < all.size(); ++i) {
+    if (all[i].slot >= t) return all[i].slot;
+  }
+  return std::numeric_limits<std::int64_t>::max();
 }
 
 bool FaultInjector::telemetry_gap(std::uint64_t job_id,

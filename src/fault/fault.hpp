@@ -125,6 +125,13 @@ class FaultInjector {
   /// non-decreasing `t` (internal cursor). Empty when inert.
   std::span<const VmTransition> transitions_at(std::int64_t t);
 
+  /// Earliest plan transition at slot >= t, or max int64 when none remain
+  /// — the fault-plan event horizon of the event-driven slot clock
+  /// (sim/slot_clock.hpp), which must land ON every transition slot:
+  /// transitions_at() advances past anything a jump would fly over.
+  /// Pure (does not move the cursor); max int64 when inert.
+  std::int64_t next_transition_slot(std::int64_t t) const;
+
   /// Is (job, slot) inside a telemetry gap? Stateless: scans the bounded
   /// window of slots whose gap could still cover `slot`.
   bool telemetry_gap(std::uint64_t job_id, std::int64_t slot) const;

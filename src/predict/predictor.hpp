@@ -79,14 +79,6 @@ class SeriesPredictor {
     return result;
   }
 
-  /// Pre-PredictionQuery entry point, kept for one release as a thin shim.
-  [[deprecated("build a PredictionQuery and call predict(query)")]]
-  double predict(std::span<const double> history, std::size_t horizon) {
-    return predict(PredictionQuery{.entity = 0,
-                                   .horizon = horizon,
-                                   .history = history});
-  }
-
   virtual std::string_view name() const = 0;
 };
 

@@ -51,6 +51,12 @@ struct TrustAdaptationConfig {
 /// Maps TrustSignals to λ: tier ceiling x fault penalty x gate margin.
 /// Pure between calls except for remembering the last computed value
 /// (exposed for diagnostics and the robustness-frontier bench).
+///
+/// Sampling cadence: the simulation loop samples TrustSignals and calls
+/// update() only on placement slots (a non-empty queue), never on idle
+/// ones — so the trust trajectory is a pure function of the placement
+/// history, and the event-driven slot clock (sim/slot_clock.hpp), which
+/// only ever skips idle slots, cannot change it.
 class TrustController {
  public:
   explicit TrustController(TrustAdaptationConfig config = {});

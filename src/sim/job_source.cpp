@@ -7,6 +7,10 @@ namespace corp::sim {
 
 void JobSource::retire(const trace::Job& job) { (void)job; }
 
+std::int64_t JobSource::next_event_slot(std::int64_t after) {
+  return exhausted() ? kNoEventSlot : after + 1;
+}
+
 TraceJobSource::TraceJobSource(const trace::Trace& trace)
     : trace_(&trace), horizon_(trace.horizon_slots()) {}
 
@@ -21,6 +25,12 @@ void TraceJobSource::poll(std::int64_t slot,
 
 bool TraceJobSource::exhausted() const {
   return next_ == trace_->jobs().size();
+}
+
+std::int64_t TraceJobSource::next_event_slot(std::int64_t after) {
+  (void)after;  // the trace is sorted: the next submit slot is exact
+  const auto& jobs = trace_->jobs();
+  return next_ < jobs.size() ? jobs[next_].submit_slot : kNoEventSlot;
 }
 
 StreamingJobSource::StreamingJobSource(trace::StreamReader& reader)
@@ -49,6 +59,24 @@ void StreamingJobSource::poll(std::int64_t slot,
     out.push_back(pending_.top().job);
     pending_.pop();
   }
+}
+
+std::int64_t StreamingJobSource::next_event_slot(std::int64_t after) {
+  absorb();
+  // Catch up to `after` exactly as poll(after) would have; in the engine
+  // flow poll already ran this slot, so the loop is a no-op there.
+  while (!reader_->exhausted() && reader_->safe_submit_slot() <= after) {
+    reader_->advance();
+    absorb();
+  }
+  std::int64_t next = pending_.empty() ? kNoEventSlot
+                                       : pending_.top().submit_slot;
+  if (!reader_->exhausted()) {
+    // No jump past the safe bound: the dense path would advance the
+    // reader at that slot, and the clock must replay that schedule.
+    next = std::min(next, reader_->safe_submit_slot());
+  }
+  return next;
 }
 
 bool StreamingJobSource::exhausted() const {

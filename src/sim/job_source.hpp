@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/slot_clock.hpp"
 #include "trace/job.hpp"
 #include "trace/stream_reader.hpp"
 
@@ -35,6 +36,16 @@ class JobSource {
 
   /// True once every job has been delivered.
   virtual bool exhausted() const = 0;
+
+  /// Event horizon for the event-driven slot clock: the earliest slot
+  /// > `after` at which this source could change the simulation — an
+  /// arrival, or (for incremental sources) any internal state step the
+  /// dense slot-by-slot path would have taken. kNoEventSlot when
+  /// exhausted. Returning an earlier slot than strictly necessary is
+  /// always safe (the engine just ticks an extra empty slot); the
+  /// default adapter returns after + 1, i.e. dense polling, so existing
+  /// JobSource implementations stay correct unchanged.
+  virtual std::int64_t next_event_slot(std::int64_t after);
 
   /// Max submit_slot + duration_slots over delivered jobs; exact once
   /// exhausted() (the engine only uses it for the grace cutoff, which it
@@ -54,6 +65,8 @@ class TraceJobSource final : public JobSource {
 
   void poll(std::int64_t slot, std::vector<const trace::Job*>& out) override;
   bool exhausted() const override;
+  /// Exact: the submit slot of the next undelivered job.
+  std::int64_t next_event_slot(std::int64_t after) override;
   std::int64_t horizon_slots() const override { return horizon_; }
 
  private:
@@ -74,6 +87,13 @@ class StreamingJobSource final : public JobSource {
 
   void poll(std::int64_t slot, std::vector<const trace::Job*>& out) override;
   bool exhausted() const override;
+  /// The earliest pending submit slot, or — when no emitted job is
+  /// waiting — the reader's safe submit bound: the first slot at which
+  /// the dense path's poll() would advance the reader again. Landing
+  /// there (instead of jumping straight to the next arrival) replays the
+  /// exact ingest schedule of the dense loop, so reader state, stats and
+  /// the exhaustion slot stay bit-identical between clock modes.
+  std::int64_t next_event_slot(std::int64_t after) override;
   std::int64_t horizon_slots() const override;
   void retire(const trace::Job& job) override;
 

@@ -7,6 +7,7 @@
 
 #include "predict/stack_builder.hpp"
 #include "predict/stacks.hpp"
+#include "sim/slot_clock.hpp"
 #include "trace/job.hpp"
 
 namespace corp::sim {
@@ -82,6 +83,23 @@ struct Params {
   /// throughput/footprint knob — results are bit-identical for every
   /// value (pinned by tests/trace/stream_reader_test).
   std::size_t ingest_chunk_kb = 4096;
+  /// Time base of the slot loop (sim/slot_clock.hpp). The event clock
+  /// jumps over spans where nothing can change — no queued work, no
+  /// running jobs — landing on the next arrival, crash-retry release,
+  /// fault-plan transition or grace cutoff. Results are bit-identical to
+  /// the dense tick-every-slot reference for every source, shard and
+  /// thread count (pinned by tests/sim/event_clock_test.cpp); dense
+  /// remains available as the differential baseline, so this is purely a
+  /// throughput knob, like `shards`.
+  SlotClockMode slot_clock = SlotClockMode::kEvent;
+  /// Forecast refresh cadence of the opportunistic methods
+  /// (sim/slot_clock.hpp). kEverySlot reproduces every historical pinned
+  /// number; kWindow re-runs the batched stack only when a tenant's
+  /// window watermark moved, its Eq. 20 pledge resolved, or the health
+  /// tier changed — a deliberate semantic change (forecasts go up to
+  /// L - 1 slots stale), itself bit-identical across clock modes and
+  /// shard/thread counts.
+  PredictCadence predict_cadence = PredictCadence::kEverySlot;
   /// Trust λ of the prediction-aware scheduler (sched/pred_aware_
   /// scheduler.hpp): 1 follows the forecast like CORP, 0 is demand-based
   /// worst-case admission, intermediate values blend the admission

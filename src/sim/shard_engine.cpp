@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "sched/pred_aware_scheduler.hpp"
 #include "sched/trust.hpp"
+#include "sim/slot_clock.hpp"
 #include "util/seed_streams.hpp"
 #include "util/stats.hpp"
 
@@ -69,6 +71,12 @@ struct RunningJob {
   /// Latest per-window unused forecast, aggregated into the VM view.
   ResourceVector cached_prediction;
   bool has_cached_prediction = false;
+  /// Health tier the cached forecast was produced under; the window
+  /// cadence invalidates the cache when the predictor changes tier.
+  predict::DegradationTier forecast_tier = predict::DegradationTier::kPrimary;
+  /// Window-cadence refresh forced by an Eq. 20 pledge resolving this
+  /// slot (re-pledging must not wait for the next watermark).
+  bool refresh_due = false;
   /// Consecutive slots an opportunistic tenant made ~no progress.
   std::size_t starved_slots = 0;
 };
@@ -180,9 +188,19 @@ SimulationResult ShardEngine::run(JobSource& source) {
   obs::PhaseStat* m_place_phase = obs_on ? &reg.phase("sim.place") : nullptr;
   obs::PhaseStat* m_predict_phase =
       obs_on ? &reg.phase("sim.predict") : nullptr;
+  // Event-clock counters are created whenever metrics are on (a zero is a
+  // meaningful reading: "nothing was skippable"), so downstream schema
+  // gates can rely on their presence after any run.
+  obs::Counter* m_skipped =
+      obs_on ? &reg.counter("event.skipped_slots") : nullptr;
+  obs::Counter* m_amortized =
+      obs_on ? &reg.counter("event.predictions_amortized") : nullptr;
 
   const Params& params = config_.params;
   const std::size_t L = params.window_slots;
+  SlotClock clock(params.slot_clock);
+  const bool window_cadence =
+      params.predict_cadence == PredictCadence::kWindow;
   const bool pred_aware = config_.method == Method::kPredAware;
   const bool opportunistic_method = config_.method == Method::kCorp ||
                                     config_.method == Method::kRccr ||
@@ -212,6 +230,12 @@ SimulationResult ShardEngine::run(JobSource& source) {
   std::vector<Shard> shards(plan.num_shards());
   for (std::size_t s = 0; s < plan.num_shards(); ++s) {
     shards[s].vms = plan.range(s);
+    // Per-VM execution scratch, sized once. Slots zero only the entries
+    // their jobs touch (O(roster), not O(VMs/shard)): at a million VMs a
+    // full zeroing walk per slot costs ~10 ms and would swamp every slot
+    // tick, busy or idle, drowning the event clock's skip win.
+    shards[s].vm_consumed.resize(shards[s].vms.size());
+    shards[s].vm_opp_want.resize(shards[s].vms.size());
   }
   const std::size_t num_shards = shards.size();
   if (num_shards > 1 && resolved_threads > 1 && pool_slot_ == nullptr) {
@@ -298,7 +322,8 @@ SimulationResult ShardEngine::run(JobSource& source) {
   std::vector<std::size_t> partition_reserved(num_partitions, 0);
   std::vector<std::uint8_t> partition_open(num_partitions, 1);
 
-  for (std::int64_t t = 0;; ++t) {
+  for (std::int64_t t = 0;;) {
+    ++result.slots_ticked;
     if (m_slots != nullptr) m_slots->add(1);
 
     // --- 0. fault transitions and retry release -----------------------
@@ -553,8 +578,16 @@ SimulationResult ShardEngine::run(JobSource& source) {
       shard.desired.resize(n);
       shard.received.resize(n);
       shard.samples.resize(n);
-      shard.vm_consumed.assign(shard.vms.size(), ResourceVector{});
-      shard.vm_opp_want.assign(shard.vms.size(), ResourceVector{});
+      // Zero only the scratch entries this slot's roster touches: later
+      // passes never read a VM that hosts no job, so untouched (stale)
+      // entries are unobservable and the walk stays O(roster) instead of
+      // O(VMs/shard) — the difference between ~10 ms and ~1 us per slot
+      // tick at a million VMs.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t local_vm = shard.jobs[i].vm_id - shard.vms.begin;
+        shard.vm_consumed[local_vm] = ResourceVector{};
+        shard.vm_opp_want[local_vm] = ResourceVector{};
+      }
       for (std::size_t i = 0; i < n; ++i) {
         RunningJob& rj = shard.jobs[i];
         const auto idx = static_cast<std::size_t>(rj.progress);
@@ -788,11 +821,25 @@ SimulationResult ShardEngine::run(JobSource& source) {
               predictor_.record_outcome(shards[s].matured_actual[i],
                                         *rj.pending_prediction);
               rj.pending_prediction.reset();
+              // A resolved pledge re-pledges on its next forecast; the
+              // window cadence must not defer that to the next watermark.
+              rj.refresh_due = true;
             });
 
-        // Pass 2 — deterministic sorted gather of every reserved tenant
-        // in seq order, then ONE batched predictor call for the whole
-        // window instead of per-job scalar calls.
+        // Pass 2 — deterministic sorted gather of reserved tenants in seq
+        // order, then ONE batched predictor call for the whole window
+        // instead of per-job scalar calls. Under the per-slot cadence
+        // every reserved tenant is gathered; the window cadence gathers
+        // only tenants whose forecast is actually stale — window
+        // watermark moved (history crossed a multiple of L), Eq. 20
+        // pledge just resolved, health tier changed, or no cache yet —
+        // and keeps the others' pledge clocks ticking exactly as the
+        // scatter below would. The skip predicate reads only per-job
+        // state plus the serially-fed monitor tier, so the gathered set
+        // (hence the monitor's observation stream) is bit-identical
+        // across shard/thread counts and clock modes.
+        const predict::DegradationTier tier_now = predictor_.tier();
+        std::size_t amortized = 0;
         std::vector<RunningJob*> reserved;
         reserved.reserve(slot_samples.size());
         predict::VectorBatchRequest request;
@@ -802,9 +849,22 @@ SimulationResult ShardEngine::run(JobSource& source) {
             [&](std::size_t s, std::size_t i) {
               RunningJob& rj = shards[s].jobs[i];
               if (rj.kind != sched::AllocationKind::kReserved) return;
+              if (window_cadence && rj.has_cached_prediction &&
+                  !rj.refresh_due && rj.forecast_tier == tier_now &&
+                  rj.unused_history[0].size() % L != 0) {
+                ++amortized;
+                if (rj.pending_prediction.has_value()) {
+                  ++rj.slots_since_prediction;
+                }
+                return;
+              }
               reserved.push_back(&rj);
               request.histories.push_back(&rj.unused_history);
             });
+        if (amortized > 0) {
+          result.predictions_amortized += amortized;
+          if (m_amortized != nullptr) m_amortized->add(amortized);
+        }
         if (faults_on) {
           request.faults.reserve(reserved.size());
           for (const RunningJob* rj : reserved) {
@@ -826,6 +886,7 @@ SimulationResult ShardEngine::run(JobSource& source) {
 
         // Pass 3 — scatter forecasts back into the per-(job, window)
         // caches and pledge bookkeeping, in the same seq order.
+        const predict::DegradationTier tier_after = predictor_.tier();
         for (std::size_t i = 0; i < reserved.size(); ++i) {
           RunningJob& rj = *reserved[i];
           const ResourceVector& fraction = fractions[i];
@@ -834,6 +895,8 @@ SimulationResult ShardEngine::run(JobSource& source) {
                 std::clamp(fraction[r], 0.0, 1.0) * rj.job->request[r];
           }
           rj.has_cached_prediction = true;
+          rj.forecast_tier = tier_after;
+          rj.refresh_due = false;
           // Pledge a forecast into the Eq. 20/21 error accounting only
           // once the job has a full window of real history behind it;
           // scoring cold-start guesses would poison the gate with errors
@@ -955,7 +1018,54 @@ SimulationResult ShardEngine::run(JobSource& source) {
       }
       break;
     }
+
+    // --- 7. clock advance ---------------------------------------------
+    // Busy slots always step densely: queued work retries placement (and
+    // draws scheduler tie-breaks from the RNG) every slot, and running
+    // jobs execute, complete and feed prediction. Only provably inert
+    // spans are jumped — and the horizon below lands the clock ON every
+    // slot where any engine input can change, so the jump is exact, not
+    // approximate (see sim/slot_clock.hpp for the no-op argument).
+    std::int64_t next = t + 1;
+    if (clock.mode() == SlotClockMode::kEvent && queue.empty() &&
+        total_running() == 0) {
+      EventHorizon horizon;
+      horizon.next_arrival = source.next_event_slot(t);
+      for (const PendingRetry& pr : retries) {
+        horizon.next_retry_release =
+            std::min(horizon.next_retry_release, pr.release_slot);
+      }
+      if (faults_on) {
+        horizon.next_fault_transition = injector.next_transition_slot(t + 1);
+      }
+      if (source.exhausted()) horizon.cutoff = max_slot;
+      next = clock.next(t, /*busy=*/false, horizon);
+      if (config_.record_timeline && next > t + 1) {
+        // Closed-form fast-forward of the per-slot record: nothing runs
+        // or queues on a jumped slot, its sample set is empty, and no
+        // fault transition lands strictly inside the span, so the idle
+        // sample the dense loop would emit is constant — replicate it
+        // with only the slot number varying.
+        TimelineSample idle;
+        idle.overall_utilization = cluster::overall_utilization(
+            std::span<const cluster::AllocationSample>{}, params.weights);
+        double committed = 0.0, capacity = 0.0;
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+          committed += params.weights.w[r] * cluster.total_committed()[r];
+          capacity += params.weights.w[r] * cluster.total_capacity()[r];
+        }
+        idle.committed_fraction =
+            capacity > 0.0 ? committed / capacity : 0.0;
+        for (std::int64_t u = t + 1; u < next; ++u) {
+          idle.slot = u;
+          result.timeline.add(idle);
+        }
+      }
+    }
+    t = next;
   }
+  result.slots_skipped = clock.skipped_slots();
+  if (m_skipped != nullptr) m_skipped->add(result.slots_skipped);
 
   for (std::size_t r = 0; r < kNumResources; ++r) {
     const auto kind = static_cast<trace::ResourceKind>(r);

@@ -22,6 +22,13 @@
 // decisions over a partitioned node table. Placement itself stays
 // centralized (the scheduler sees every VM view each slot); only the
 // embarrassingly shard-local state walks fan out.
+//
+// Time base: a sim::SlotClock (sim/slot_clock.hpp). The default event
+// clock jumps spans where no phase can observe anything — no queued
+// work, no running jobs — directly to the next arrival, crash-retry
+// release, fault-plan transition or grace cutoff; results are
+// bit-identical to the dense tick-every-slot reference
+// (Params::slot_clock, pinned by tests/sim/event_clock_test.cpp).
 #pragma once
 
 #include <memory>

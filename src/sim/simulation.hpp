@@ -124,6 +124,18 @@ struct SimulationResult {
   /// trajectory's last point; 1.0 for every other method).
   double trust_lambda = 1.0;
   std::int64_t slots_simulated = 0;
+  // --- slot-clock diagnostics (sim/slot_clock.hpp). slots_ticked +
+  // slots_skipped == slots_simulated; under the dense clock skipped is 0
+  // and ticked == simulated. Ticked/skipped differ between clock modes
+  // by design (everything else, predictions_amortized included, is
+  // mode-invariant); all three are bit-identical across shard/thread
+  // counts for a fixed mode.
+  /// Slots the engine actually executed (the event clock jumps the rest).
+  std::int64_t slots_ticked = 0;
+  /// Slots the event clock fast-forwarded over.
+  std::int64_t slots_skipped = 0;
+  /// Per-(job, slot) forecast refreshes the window cadence skipped.
+  std::size_t predictions_amortized = 0;
   /// Populated when SimulationConfig::record_timeline is set.
   Timeline timeline;
 };

@@ -1,0 +1,47 @@
+#include "sim/slot_clock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace corp::sim {
+
+std::int64_t EventHorizon::earliest() const {
+  return std::min({next_arrival, next_retry_release, next_fault_transition,
+                   cutoff});
+}
+
+std::int64_t SlotClock::next(std::int64_t now, bool busy,
+                             const EventHorizon& horizon) {
+  if (mode_ == SlotClockMode::kDense || busy) return now + 1;
+  const std::int64_t event = horizon.earliest();
+  if (event == kNoEventSlot) return now + 1;
+  const std::int64_t next = std::max(now + 1, event);
+  skipped_ += next - (now + 1);
+  return next;
+}
+
+SlotClockMode parse_slot_clock(std::string_view name) {
+  if (name == "dense") return SlotClockMode::kDense;
+  if (name == "event") return SlotClockMode::kEvent;
+  throw std::invalid_argument("unknown slot clock '" + std::string(name) +
+                              "' (expected dense|event)");
+}
+
+PredictCadence parse_predict_cadence(std::string_view name) {
+  if (name == "slot") return PredictCadence::kEverySlot;
+  if (name == "window") return PredictCadence::kWindow;
+  throw std::invalid_argument("unknown prediction cadence '" +
+                              std::string(name) +
+                              "' (expected slot|window)");
+}
+
+std::string_view to_string(SlotClockMode mode) {
+  return mode == SlotClockMode::kDense ? "dense" : "event";
+}
+
+std::string_view to_string(PredictCadence cadence) {
+  return cadence == PredictCadence::kEverySlot ? "slot" : "window";
+}
+
+}  // namespace corp::sim

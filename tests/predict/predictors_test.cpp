@@ -44,8 +44,7 @@ SeriesCorpus noisy_corpus(std::size_t series_count, std::size_t length,
 
 
 /// Query-form shorthand: every scalar call in these tests goes through the
-/// PredictionQuery entry point (the deprecated span/horizon shim has no
-/// in-tree users).
+/// PredictionQuery entry point (the deprecated span/horizon shim is gone).
 double predict_at(SeriesPredictor& predictor, std::span<const double> history,
                   std::size_t horizon) {
   return predictor.predict(

@@ -27,6 +27,7 @@
 #include "predict/stack_builder.hpp"
 #include "sim/job_source.hpp"
 #include "sim/replication.hpp"
+#include "sim/slot_clock.hpp"
 #include "sim/workloads.hpp"
 #include "trace/google_format.hpp"
 #include "trace/stats.hpp"
@@ -78,6 +79,17 @@ scaling (docs/scaling.md): run/compare/replicate/backtest accept
   --shards K           slot-engine shards (default 1; 0 = one shard per
                        worker thread); results are bit-identical for
                        every K, so this is purely a throughput knob
+  --slot-clock C       dense | event (default): 'event' jumps over slots
+                       where nothing can change (no queued or running
+                       work) instead of ticking them; results are
+                       bit-identical for both, so this too is purely a
+                       throughput knob
+  --predict-cadence C  slot (default) | window: 'window' re-runs the
+                       batched prediction stack only when a job's
+                       telemetry window watermark moves or the health
+                       monitor changes tier — a documented semantic
+                       change (a coarser forecast-refresh schedule),
+                       itself bit-identical across shards/threads/clock
 
 prediction-aware allocation (docs/resilience.md): run/replicate/backtest
   --sched NAME         alias of --method (pred-aware is a scheduler
@@ -117,7 +129,8 @@ observability (docs/observability.md): any subcommand accepts
 const std::vector<std::string> kCommonFlags{
     "env",          "jobs",        "seed",
     "threads",      "shards",      "workload",
-    "aggressiveness", "trust",
+    "aggressiveness", "trust",     "slot-clock",
+    "predict-cadence",
     "metrics-out",  "metrics-csv", "no-metrics",
     "fault-intensity", "vm-mttf",  "vm-mttr",
     "gap-rate",     "gap-mean",    "straggler-rate",
@@ -281,6 +294,14 @@ RunSetup setup_from(const util::ArgParser& args) {
   setup.aggressiveness = get_probability(args, "aggressiveness", 0.35);
   setup.experiment.params.threads = args.get_size("threads", 0);
   setup.experiment.params.shards = args.get_size("shards", 1);
+  if (args.has("slot-clock")) {
+    setup.experiment.params.slot_clock =
+        sim::parse_slot_clock(args.get("slot-clock", "event"));
+  }
+  if (args.has("predict-cadence")) {
+    setup.experiment.params.predict_cadence =
+        sim::parse_predict_cadence(args.get("predict-cadence", "slot"));
+  }
   apply_trust_flag(args, setup.experiment.params);
   setup.experiment.faults = faults_from(args);
   return setup;

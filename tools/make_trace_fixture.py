@@ -18,10 +18,19 @@ Layout mirrors what the reader has to cope with in the real downloads:
 * a ``#corp-trace schema=...`` directive as line 1 so the file is
   self-describing.
 
-Output is a pure function of (--schema, --mb, --seed, generator
-version): the CI job caches the fixture keyed on this script's hash and
-re-generates only when the generator changes. The SHA-256 of the
-written file is always printed for cache/audit trails.
+``--sparsity F`` (default 0) carves idle valleys into the arrival
+stream: windows are grouped into fixed periods of ``SPARSITY_PERIOD``
+and the trailing ``F`` fraction of each period emits no fresh work —
+the night stretches of a real trace, distilled. Multi-window tasks
+started before a valley still drain into it, so the reader sees
+trailing rows before the silence; the deep valley interior is genuinely
+row-free, which is what lets the event-driven slot clock
+(``trace_replay --clock event``) skip slots during replay.
+
+Output is a pure function of (--schema, --mb, --seed, --sparsity,
+generator version): the CI job caches the fixture keyed on this
+script's hash and re-generates only when the generator changes. The
+SHA-256 of the written file is always printed for cache/audit trails.
 
 Only the Python standard library is used.
 """
@@ -36,6 +45,12 @@ from pathlib import Path
 
 WINDOW_US = 300_000_000  # 5-minute usage window, microseconds
 EPOCH_US = 600_000_000  # arbitrary non-zero trace start
+SPARSITY_PERIOD = 20  # windows per active/idle duty cycle under --sparsity
+
+
+def active_windows_per_period(sparsity: float) -> int:
+    """Windows of each SPARSITY_PERIOD that emit fresh work (>= 1)."""
+    return max(1, round(SPARSITY_PERIOD * (1.0 - sparsity)))
 
 
 def format_google_row(start_us: int, end_us: int, job_id: int,
@@ -48,9 +63,11 @@ def format_google_row(start_us: int, end_us: int, job_id: int,
             f"{cpu:.6f},{mem:.6f},0,0,0,0,0,{disk:.6f}\n")
 
 
-def generate_google(out: Path, target_bytes: int, seed: int) -> int:
+def generate_google(out: Path, target_bytes: int, seed: int,
+                    sparsity: float) -> int:
     """Writes a task_usage-shaped fixture; returns rows written."""
     rng = random.Random(seed)
+    active_per_period = active_windows_per_period(sparsity)
     rows = 0
     bytes_written = 0
     next_job_id = 1
@@ -84,7 +101,7 @@ def generate_google(out: Path, target_bytes: int, seed: int) -> int:
                     start, start + WINDOW_US, job_id, 0, job_id % 997,
                     task[3], task[4], task[5])))
             active = [t for t in active if t[1] > 0]
-            if not draining:
+            if not draining and window % SPARSITY_PERIOD < active_per_period:
                 # Fresh single-window tasks: 90% whole-window rows, 10%
                 # split into two half-window records the reader must
                 # merge into one coarse window.
@@ -136,9 +153,11 @@ def generate_google(out: Path, target_bytes: int, seed: int) -> int:
     return rows
 
 
-def generate_azure(out: Path, target_bytes: int, seed: int) -> int:
+def generate_azure(out: Path, target_bytes: int, seed: int,
+                   sparsity: float) -> int:
     """Writes an Azure vm_cpu_readings-shaped fixture; returns rows."""
     rng = random.Random(seed)
+    active_per_period = active_windows_per_period(sparsity)
     rows = 0
     bytes_written = 0
     # Fleet of VMs, each reporting once per window for a random
@@ -150,6 +169,10 @@ def generate_azure(out: Path, target_bytes: int, seed: int) -> int:
     with out.open("w", encoding="ascii", newline="\n") as handle:
         handle.write("#corp-trace schema=azure-vm\n")
         while bytes_written < target_bytes:
+            if window % SPARSITY_PERIOD >= active_per_period:
+                # Idle valley: the whole fleet goes silent this window.
+                window += 1
+                continue
             ts = (EPOCH_US // 1_000_000) + window * 300
             for i, name in enumerate(names):
                 avg = rng.uniform(1.0, 35.0)
@@ -186,21 +209,27 @@ def main() -> int:
     parser.add_argument("--mb", type=float, default=100.0,
                         help="target size in MiB (default 100)")
     parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--sparsity", type=float, default=0.0,
+                        help=f"fraction of each {SPARSITY_PERIOD}-window"
+                             " period left as an idle valley (default 0)")
     args = parser.parse_args()
     if args.mb <= 0:
         print("error: --mb must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.sparsity < 1.0:
+        print("error: --sparsity must be in [0, 1)", file=sys.stderr)
         return 2
 
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     target_bytes = int(args.mb * (1 << 20))
     if args.schema == "google-v2":
-        rows = generate_google(out, target_bytes, args.seed)
+        rows = generate_google(out, target_bytes, args.seed, args.sparsity)
     else:
-        rows = generate_azure(out, target_bytes, args.seed)
+        rows = generate_azure(out, target_bytes, args.seed, args.sparsity)
     size = out.stat().st_size
     print(f"wrote {out} ({rows} rows, {size} bytes, schema {args.schema}, "
-          f"seed {args.seed})")
+          f"seed {args.seed}, sparsity {args.sparsity})")
     print(f"sha256 {sha256_of(out)}")
     return 0
 
